@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+The experiment context (training fleet, corpus, zero-shot models, IMDB
+holdout, executed IMDB pool) is built once per session at benchmark
+scale and reused by every per-figure/per-table benchmark.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, build_context
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return ExperimentScale.default()
+
+
+@pytest.fixture(scope="session")
+def context(scale):
+    return build_context(scale)

@@ -1,0 +1,28 @@
+"""Benchmark E7: ablations of the zero-shot design choices.
+
+Quantifies the contributions DESIGN.md calls out: graph message passing
+vs flat pooling of the same features, and cardinality features vs none
+(separation of concerns, paper §2.2).
+"""
+
+from repro.experiments.ablations import format_ablations, run_ablations
+
+
+def test_ablations(benchmark, context):
+    result = benchmark.pedantic(
+        lambda: run_ablations(context=context), rounds=1, iterations=1,
+    )
+    print()
+    print(format_ablations(result))
+
+    full = result.median("graph (full model)")
+    flat = result.median("flat (no message passing)")
+    no_cards = result.median("graph (no cardinality features)")
+
+    assert full < 2.5
+    # Removing cardinality inputs must hurt: they carry the data
+    # characteristics the separate (data-driven) estimators provide.
+    assert no_cards >= full * 0.95
+    # The flat variant loses the plan structure; it must not beat the
+    # full model decisively.
+    assert flat >= full * 0.8

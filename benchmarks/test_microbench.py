@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the substrate and the model pipeline.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+of the pieces a user of the library cares about: planning latency,
+execution throughput, featurization, model inference and one training
+epoch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Executor
+from repro.featurize.batch import batch_graphs
+from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.nn import Tensor, no_grad
+from repro.optimizer import Planner
+from repro.runtime import RuntimeSimulator
+from repro.workload import make_benchmark_workload
+
+
+@pytest.fixture(scope="module")
+def imdb(context):
+    return context.imdb
+
+
+@pytest.fixture(scope="module")
+def queries(imdb):
+    return make_benchmark_workload(imdb, "scale", 20, seed=99)
+
+
+@pytest.fixture(scope="module")
+def executed_plans(imdb, queries):
+    planner = Planner(imdb)
+    executor = Executor(imdb)
+    plans = []
+    for query in queries:
+        plan = planner.plan(query)
+        executor.execute(plan)
+        plans.append(plan)
+    return plans
+
+
+def test_planner_latency(benchmark, imdb, queries):
+    planner = Planner(imdb)
+
+    def plan_all():
+        return [planner.plan(q) for q in queries]
+
+    plans = benchmark(plan_all)
+    assert len(plans) == len(queries)
+
+
+def test_executor_throughput(benchmark, imdb, executed_plans):
+    executor = Executor(imdb)
+
+    def run_all():
+        total = 0
+        for plan in executed_plans:
+            plan.reset_actuals()
+            executor.execute(plan)
+            total += 1
+        return total
+
+    assert benchmark(run_all) == len(executed_plans)
+
+
+def test_runtime_simulation(benchmark, imdb, executed_plans):
+    simulator = RuntimeSimulator(imdb, noise_sigma=0.0)
+
+    def simulate_all():
+        return [simulator.simulate(p).total_seconds for p in executed_plans]
+
+    runtimes = benchmark(simulate_all)
+    assert all(r > 0 for r in runtimes)
+
+
+def test_featurization_throughput(benchmark, imdb, executed_plans):
+    featurizer = ZeroShotFeaturizer(CardinalitySource.ACTUAL)
+
+    def featurize_all():
+        return [featurizer.featurize(p, imdb) for p in executed_plans]
+
+    graphs = benchmark(featurize_all)
+    assert len(graphs) == len(executed_plans)
+
+
+def test_zero_shot_inference_latency(benchmark, context, imdb,
+                                     executed_plans):
+    model = context.zero_shot_models[CardinalitySource.ACTUAL]
+    featurizer = ZeroShotFeaturizer(CardinalitySource.ACTUAL)
+    graphs = [featurizer.featurize(p, imdb) for p in executed_plans]
+
+    predictions = benchmark(lambda: model.predict_runtime(graphs))
+    assert (predictions > 0).all()
+
+
+def test_message_passing_forward(benchmark, context, imdb, executed_plans):
+    """One batched forward pass through the graph network."""
+    model = context.zero_shot_models[CardinalitySource.ACTUAL]
+    featurizer = ZeroShotFeaturizer(CardinalitySource.ACTUAL)
+    graphs = [featurizer.featurize(p, imdb) for p in executed_plans]
+    batch = batch_graphs(graphs, model.scalers)
+
+    def forward():
+        with no_grad():
+            return model.net(batch).numpy()
+
+    out = benchmark(forward)
+    assert out.shape == (len(graphs),)

@@ -1,0 +1,13 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel`` package,
+so PEP 660 editable installs fail; ``python setup.py develop`` still works."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

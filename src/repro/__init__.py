@@ -1,0 +1,90 @@
+"""repro — zero-shot cost models for databases.
+
+A from-scratch reproduction of Hilprecht & Binnig, *"One Model to Rule
+them All: Towards Zero-Shot Learning for Databases"* (CIDR 2022),
+including every substrate the paper depends on: a relational engine with
+a Postgres-style optimizer, a runtime simulator standing in for the
+paper's server, a numpy autograd library, the transferable graph
+encoding, the zero-shot model, the workload-driven baselines (MSCN, E2E,
+scaled optimizer cost), what-if index tuning and few-shot adaptation.
+
+Typical usage::
+
+    from repro import (
+        generate_training_databases, collect_training_corpus,
+        CardinalitySource, ZeroShotCostModel,
+    )
+
+    fleet = generate_training_databases(8, base_seed=0)
+    corpus = collect_training_corpus(fleet, queries_per_database=150)
+    model = ZeroShotCostModel()
+    model.fit(corpus.featurize(CardinalitySource.ESTIMATED))
+    # ... predict on a database the model has never seen (see README).
+"""
+
+from repro.db import (
+    Database,
+    SyntheticDatabaseSpec,
+    generate_database,
+    generate_training_databases,
+    make_imdb_database,
+)
+from repro.engine import execute_plan
+from repro.featurize import CardinalitySource, ZeroShotFeaturizer
+from repro.models import (
+    E2ECostModel,
+    MSCNCostModel,
+    ScaledOptimizerCost,
+    TrainerConfig,
+    ZeroShotConfig,
+    ZeroShotCostModel,
+    fine_tune,
+    q_error,
+    q_error_stats,
+)
+from repro.optimizer import plan_query
+from repro.plans import explain_plan
+from repro.runtime import RuntimeSimulator, SystemParameters
+from repro.sql import parse_query, query_to_sql
+from repro.tuning import IndexAdvisor, ZeroShotWhatIfEstimator
+from repro.workload import (
+    WorkloadRunner,
+    collect_training_corpus,
+    generate_workload,
+    make_benchmark_workload,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CardinalitySource",
+    "Database",
+    "E2ECostModel",
+    "IndexAdvisor",
+    "MSCNCostModel",
+    "RuntimeSimulator",
+    "ScaledOptimizerCost",
+    "SyntheticDatabaseSpec",
+    "SystemParameters",
+    "TrainerConfig",
+    "WorkloadRunner",
+    "ZeroShotConfig",
+    "ZeroShotCostModel",
+    "ZeroShotFeaturizer",
+    "ZeroShotWhatIfEstimator",
+    "__version__",
+    "collect_training_corpus",
+    "execute_plan",
+    "explain_plan",
+    "fine_tune",
+    "generate_database",
+    "generate_training_databases",
+    "generate_workload",
+    "make_benchmark_workload",
+    "make_imdb_database",
+    "parse_query",
+    "plan_query",
+    "q_error",
+    "q_error_stats",
+    "query_to_sql",
+]

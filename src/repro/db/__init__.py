@@ -1,0 +1,37 @@
+"""Relational database substrate.
+
+The paper's experiments run on PostgreSQL over 20 public datasets.  This
+package provides the equivalent substrate: schemas, columnar data,
+Postgres-style statistics (``ANALYZE``), B-tree index metadata, a
+synthetic database generator (the 19 training databases) and an
+IMDB-shaped evaluation database (the unseen holdout).
+"""
+
+from repro.db.database import Database
+from repro.db.generator import SyntheticDatabaseSpec, generate_database, generate_training_databases
+from repro.db.histogram import EquiDepthHistogram
+from repro.db.imdb import make_imdb_database
+from repro.db.index import Index
+from repro.db.schema import Column, ForeignKey, Schema, Table
+from repro.db.statistics import ColumnStatistics, TableStatistics, analyze_table
+from repro.db.table_data import TableData
+from repro.db.types import DataType
+
+__all__ = [
+    "Column",
+    "ColumnStatistics",
+    "DataType",
+    "Database",
+    "EquiDepthHistogram",
+    "ForeignKey",
+    "Index",
+    "Schema",
+    "SyntheticDatabaseSpec",
+    "Table",
+    "TableData",
+    "TableStatistics",
+    "analyze_table",
+    "generate_database",
+    "generate_training_databases",
+    "make_imdb_database",
+]

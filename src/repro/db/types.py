@@ -1,0 +1,70 @@
+"""Column data types.
+
+Only the types the paper's workloads exercise are modelled: integers,
+floats and dictionary-encoded categoricals.  The byte widths drive the
+page accounting (and therefore the optimizer cost model and the runtime
+simulator), mirroring Postgres' attribute widths.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DataType", "type_width_bytes", "TUPLE_HEADER_BYTES", "PAGE_SIZE_BYTES",
+           "PAGE_USABLE_BYTES", "rows_per_page", "pages_for_rows"]
+
+#: Per-tuple header overhead, like Postgres' 23-byte heap tuple header
+#: plus alignment padding.
+TUPLE_HEADER_BYTES = 24
+
+#: Heap page size (Postgres default 8 KiB).
+PAGE_SIZE_BYTES = 8192
+
+#: Usable payload bytes per page after the page header and line pointers.
+PAGE_USABLE_BYTES = 8140
+
+
+class DataType(enum.Enum):
+    """Supported column data types."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    CATEGORICAL = "categorical"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether range predicates (<, >, between) are meaningful."""
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_WIDTHS = {
+    DataType.INTEGER: 4,
+    DataType.FLOAT: 8,
+    DataType.CATEGORICAL: 4,  # dictionary code
+}
+
+
+def type_width_bytes(data_type: DataType) -> int:
+    """Storage width in bytes for a value of ``data_type``."""
+    return _WIDTHS[data_type]
+
+
+def rows_per_page(tuple_width_bytes: int) -> int:
+    """How many tuples of the given width fit on one heap page."""
+    if tuple_width_bytes <= 0:
+        raise ValueError(f"tuple width must be positive, got {tuple_width_bytes}")
+    per_tuple = tuple_width_bytes + TUPLE_HEADER_BYTES
+    return max(1, PAGE_USABLE_BYTES // per_tuple)
+
+
+def pages_for_rows(num_rows: int, tuple_width_bytes: int) -> int:
+    """Number of heap pages needed to store ``num_rows`` tuples."""
+    if num_rows < 0:
+        raise ValueError(f"num_rows must be non-negative, got {num_rows}")
+    if num_rows == 0:
+        return 1  # an empty table still occupies one page
+    per_page = rows_per_page(tuple_width_bytes)
+    return (num_rows + per_page - 1) // per_page

@@ -1,0 +1,12 @@
+"""Vectorized plan executor.
+
+Substitutes for the Postgres executor in the paper's testbed: it runs
+every physical plan over the columnar data and reports true per-operator
+cardinalities (the "exact cardinalities" input of the zero-shot model)
+plus the query result itself.
+"""
+
+from repro.engine.executor import ExecutionResult, Executor, execute_plan
+from repro.engine.expressions import predicate_mask
+
+__all__ = ["ExecutionResult", "Executor", "execute_plan", "predicate_mask"]

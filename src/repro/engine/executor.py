@@ -1,0 +1,454 @@
+"""Plan execution over columnar numpy data.
+
+The executor walks the physical plan bottom-up, producing an
+intermediate :class:`Relation` per node and annotating each node's
+``actual_rows`` — exactly the information ``EXPLAIN ANALYZE`` yields in
+the paper's training-data collection.
+
+All join operators use the same sort-based matching kernel; they differ
+only in the *runtime cost* the simulator later charges, not in their
+results (joins are joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.table_data import TableData
+from repro.engine.expressions import conjunction_mask, predicate_mask
+from repro.errors import ExecutionError
+from repro.plans.operators import (
+    HashAggregate,
+    HashBuild,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PlainAggregate,
+    PlanNode,
+    SeqScan,
+    Sort,
+)
+from repro.plans.plan import PhysicalPlan
+from repro.sql.ast import AggregateFunction, AggregateSpec, ColumnRef, Predicate
+
+__all__ = ["Relation", "ExecutionResult", "Executor", "execute_plan"]
+
+
+@dataclass
+class Relation:
+    """An intermediate result: named columns + optional NULL masks.
+
+    Column keys are qualified, e.g. ``"t.production_year"``.
+    """
+
+    columns: dict[str, np.ndarray]
+    null_masks: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def column(self, ref: ColumnRef | str) -> np.ndarray:
+        key = str(ref)
+        try:
+            return self.columns[key]
+        except KeyError:
+            raise ExecutionError(
+                f"intermediate relation has no column {key!r}; "
+                f"available: {sorted(self.columns)}"
+            ) from None
+
+    def null_mask(self, ref: ColumnRef | str) -> np.ndarray | None:
+        return self.null_masks.get(str(ref))
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        return Relation(
+            columns={k: v[indices] for k, v in self.columns.items()},
+            null_masks={k: v[indices] for k, v in self.null_masks.items()},
+        )
+
+    def merge(self, other: "Relation") -> "Relation":
+        overlap = set(self.columns) & set(other.columns)
+        if overlap:
+            raise ExecutionError(f"column name clash on join: {sorted(overlap)}")
+        columns = dict(self.columns)
+        columns.update(other.columns)
+        null_masks = dict(self.null_masks)
+        null_masks.update(other.null_masks)
+        return Relation(columns=columns, null_masks=null_masks)
+
+
+@dataclass
+class ExecutionResult:
+    """Result of executing a plan."""
+
+    relation: Relation
+    root_rows: int
+
+    def scalar(self, index: int = 0) -> float:
+        """Value of the ``index``-th aggregate for scalar results."""
+        keys = list(self.relation.columns)
+        if not keys:
+            raise ExecutionError("result has no columns")
+        return float(self.relation.columns[keys[index]][0])
+
+
+def _join_match_indices(left_keys: np.ndarray,
+                        right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All (left_row, right_row) index pairs with equal keys.
+
+    Sort-based: sort the right side once, then binary-search every left
+    key and expand duplicate ranges.  Equivalent output for hash, merge
+    and nested-loop joins.
+    """
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    starts = np.searchsorted(sorted_right, left_keys, side="left")
+    stops = np.searchsorted(sorted_right, left_keys, side="right")
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    left_indices = np.repeat(np.arange(len(left_keys)), counts)
+    # For each left row, enumerate its matched right positions.
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    within = np.arange(total) - np.repeat(offsets, counts)
+    right_positions = np.repeat(starts, counts) + within
+    return left_indices, order[right_positions]
+
+
+def _drop_null_keys(relation: Relation, key: ColumnRef) -> Relation:
+    mask = relation.null_mask(key)
+    if mask is None or not mask.any():
+        return relation
+    return relation.take(np.flatnonzero(~mask))
+
+
+class Executor:
+    """Executes physical plans against one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+        """Run the plan; annotate ``actual_rows`` on every node."""
+        if plan.database_name != self.database.name:
+            raise ExecutionError(
+                f"plan was built for database {plan.database_name!r}, "
+                f"executor is bound to {self.database.name!r}"
+            )
+        relation = self._execute_node(plan.root)
+        return ExecutionResult(relation=relation, root_rows=plan.root.actual_rows)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _execute_node(self, node: PlanNode) -> Relation:
+        if isinstance(node, SeqScan):
+            relation = self._seq_scan(node)
+        elif isinstance(node, IndexScan):
+            relation = self._index_scan(node)
+        elif isinstance(node, HashBuild):
+            relation = self._execute_node(node.children[0])
+        elif isinstance(node, HashJoin):
+            relation = self._join(node, node.children[0], node.children[1],
+                                  node.condition)
+        elif isinstance(node, MergeJoin):
+            relation = self._join(node, node.children[0], node.children[1],
+                                  node.condition)
+        elif isinstance(node, NestedLoopJoin):
+            relation = self._nested_loop(node)
+        elif isinstance(node, Sort):
+            relation = self._sort(node)
+        elif isinstance(node, HashAggregate):
+            relation = self._hash_aggregate(node)
+        elif isinstance(node, PlainAggregate):
+            relation = self._plain_aggregate(node)
+        else:
+            raise ExecutionError(f"unknown plan operator {type(node).__name__}")
+        node.actual_rows = relation.num_rows
+        return relation
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def _base_relation(self, data: TableData, alias: str,
+                       row_indices: np.ndarray | None = None) -> Relation:
+        columns = {}
+        null_masks = {}
+        for name in data.table.column_names:
+            values = data.column_values(name)
+            key = f"{alias}.{name}"
+            columns[key] = values if row_indices is None else values[row_indices]
+            mask = data.null_masks.get(name)
+            if mask is not None:
+                null_masks[key] = mask if row_indices is None else mask[row_indices]
+        return Relation(columns=columns, null_masks=null_masks)
+
+    def _apply_filters(self, relation: Relation, alias: str,
+                       filters: tuple[Predicate, ...]) -> Relation:
+        if not filters:
+            return relation
+        masks = []
+        for predicate in filters:
+            key = f"{alias}.{predicate.column.column}"
+            masks.append(predicate_mask(relation.columns[key],
+                                        relation.null_masks.get(key), predicate))
+        keep = conjunction_mask(relation.num_rows, masks)
+        return relation.take(np.flatnonzero(keep))
+
+    def _seq_scan(self, node: SeqScan) -> Relation:
+        data = self.database.table_data(node.table.table_name)
+        relation = self._base_relation(data, node.table.name)
+        return self._apply_filters(relation, node.table.name, node.filters)
+
+    def _index_scan(self, node: IndexScan, outer_keys: np.ndarray | None = None
+                    ) -> Relation:
+        index = self.database.indexes.get(node.index_name)
+        if index is None:
+            raise ExecutionError(f"no index named {node.index_name!r}")
+        if index.hypothetical:
+            raise ExecutionError(
+                f"index {node.index_name!r} is hypothetical and cannot be executed"
+            )
+        data = self.database.table_data(node.table.table_name)
+
+        if node.lookup_column is not None:
+            if outer_keys is None:
+                raise ExecutionError(
+                    "parameterized index scan executed outside a nested loop"
+                )
+            # Match outer keys against the index (vectorized inner lookups).
+            sorted_values = index._sorted_values
+            starts = np.searchsorted(sorted_values, outer_keys, side="left")
+            stops = np.searchsorted(sorted_values, outer_keys, side="right")
+            counts = stops - starts
+            total = int(counts.sum())
+            if total == 0:
+                row_indices = np.empty(0, dtype=np.int64)
+                outer_indices = np.empty(0, dtype=np.int64)
+            else:
+                offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+                within = np.arange(total) - np.repeat(offsets, counts)
+                positions = np.repeat(starts, counts) + within
+                row_indices = index._sorted_order[positions]
+                outer_indices = np.repeat(np.arange(len(outer_keys)), counts)
+            relation = self._base_relation(data, node.table.name, row_indices)
+            relation = self._tag_outer(relation, outer_indices)
+        else:
+            low, high, low_inc, high_inc = _index_range(node.index_predicates)
+            row_indices = index.range_lookup(low, high, low_inc, high_inc)
+            relation = self._base_relation(data, node.table.name, row_indices)
+
+        return self._apply_filters(relation, node.table.name,
+                                   node.residual_filters)
+
+    @staticmethod
+    def _tag_outer(relation: Relation, outer_indices: np.ndarray) -> Relation:
+        tagged = Relation(columns=dict(relation.columns),
+                          null_masks=dict(relation.null_masks))
+        tagged.columns["__outer__"] = outer_indices
+        return tagged
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _join(self, node: PlanNode, left_node: PlanNode, right_node: PlanNode,
+              condition) -> Relation:
+        left = self._execute_node(left_node)
+        right = self._execute_node(right_node)
+        left_ref, right_ref = _orient_condition(condition, left, right)
+        left = _drop_null_keys(left, left_ref)
+        right = _drop_null_keys(right, right_ref)
+        left_idx, right_idx = _join_match_indices(
+            left.column(left_ref), right.column(right_ref)
+        )
+        return left.take(left_idx).merge(right.take(right_idx))
+
+    def _nested_loop(self, node: NestedLoopJoin) -> Relation:
+        outer_node, inner_node = node.children
+        outer = self._execute_node(outer_node)
+        condition = node.condition
+        if node.is_index_nested_loop:
+            inner_scan: IndexScan = inner_node  # type: ignore[assignment]
+            outer_ref = condition.other_side(inner_scan.table.name)
+            outer = _drop_null_keys(outer, outer_ref)
+            inner = self._index_scan(inner_scan, outer.column(outer_ref))
+            inner_node.actual_rows = inner.num_rows
+            outer_indices = inner.columns.pop("__outer__")
+            return outer.take(outer_indices).merge(inner)
+        inner = self._execute_node(inner_node)
+        left_ref, right_ref = _orient_condition(condition, outer, inner)
+        outer = _drop_null_keys(outer, left_ref)
+        inner = _drop_null_keys(inner, right_ref)
+        left_idx, right_idx = _join_match_indices(
+            outer.column(left_ref), inner.column(right_ref)
+        )
+        return outer.take(left_idx).merge(inner.take(right_idx))
+
+    # ------------------------------------------------------------------
+    # Sort / aggregation
+    # ------------------------------------------------------------------
+    def _sort(self, node: Sort) -> Relation:
+        relation = self._execute_node(node.children[0])
+        order = np.argsort(relation.column(node.key), kind="stable")
+        return relation.take(order)
+
+    def _hash_aggregate(self, node: HashAggregate) -> Relation:
+        relation = self._execute_node(node.children[0])
+        if relation.num_rows == 0:
+            columns = {str(c): np.empty(0) for c in node.group_by}
+            for index, agg in enumerate(node.aggregates):
+                columns[f"agg{index}"] = np.empty(0)
+            return Relation(columns=columns)
+        key_arrays = [relation.column(c) for c in node.group_by]
+        stacked = np.rec.fromarrays(key_arrays)
+        unique_keys, first_indices, group_ids = np.unique(
+            stacked, return_index=True, return_inverse=True
+        )
+        num_groups = len(unique_keys)
+        columns: dict[str, np.ndarray] = {}
+        for ref, array in zip(node.group_by, key_arrays):
+            columns[str(ref)] = array[first_indices]
+        for index, agg in enumerate(node.aggregates):
+            columns[f"agg{index}"] = _grouped_aggregate(relation, agg,
+                                                        group_ids, num_groups)
+        return Relation(columns=columns)
+
+    def _plain_aggregate(self, node: PlainAggregate) -> Relation:
+        relation = self._execute_node(node.children[0])
+        aggregates = node.aggregates or (AggregateSpec(AggregateFunction.COUNT),)
+        columns = {}
+        for index, agg in enumerate(aggregates):
+            columns[f"agg{index}"] = np.array(
+                [_scalar_aggregate(relation, agg)]
+            )
+        return Relation(columns=columns)
+
+
+def _orient_condition(condition, left: Relation,
+                      right: Relation) -> tuple[ColumnRef, ColumnRef]:
+    """Figure out which side of an equi-join condition each input holds."""
+    if str(condition.left) in left.columns and str(condition.right) in right.columns:
+        return condition.left, condition.right
+    if str(condition.right) in left.columns and str(condition.left) in right.columns:
+        return condition.right, condition.left
+    raise ExecutionError(
+        f"join condition {condition} does not match the join inputs"
+    )
+
+
+def _index_range(predicates: tuple[Predicate, ...]
+                 ) -> tuple[float | None, float | None, bool, bool]:
+    """Combine index predicates into one key range."""
+    from repro.sql.ast import ComparisonOperator as Op
+
+    low: float | None = None
+    high: float | None = None
+    low_inc = True
+    high_inc = True
+    for predicate in predicates:
+        op = predicate.operator
+        if op is Op.EQ:
+            low = high = float(predicate.value)
+            low_inc = high_inc = True
+        elif op is Op.BETWEEN:
+            lo, hi = predicate.value
+            low = lo if low is None else max(low, lo)
+            high = hi if high is None else min(high, hi)
+        elif op in (Op.GT, Op.GEQ):
+            value = float(predicate.value)
+            if low is None or value >= low:
+                low = value
+                low_inc = op is Op.GEQ
+        elif op in (Op.LT, Op.LEQ):
+            value = float(predicate.value)
+            if high is None or value <= high:
+                high = value
+                high_inc = op is Op.LEQ
+        else:
+            raise ExecutionError(f"operator {op} cannot be served by an index")
+    return low, high, low_inc, high_inc
+
+
+def _non_null(relation: Relation, ref: ColumnRef) -> np.ndarray:
+    values = relation.column(ref)
+    mask = relation.null_mask(ref)
+    if mask is None:
+        return values
+    return values[~mask]
+
+
+def _scalar_aggregate(relation: Relation, agg: AggregateSpec) -> float:
+    if agg.function is AggregateFunction.COUNT:
+        if agg.column is None:
+            return float(relation.num_rows)
+        return float(len(_non_null(relation, agg.column)))
+    values = _non_null(relation, agg.column)
+    if len(values) == 0:
+        return float("nan")
+    if agg.function is AggregateFunction.SUM:
+        return float(values.sum())
+    if agg.function is AggregateFunction.AVG:
+        return float(values.mean())
+    if agg.function is AggregateFunction.MIN:
+        return float(values.min())
+    if agg.function is AggregateFunction.MAX:
+        return float(values.max())
+    raise ExecutionError(f"unsupported aggregate {agg.function}")
+
+
+def _grouped_aggregate(relation: Relation, agg: AggregateSpec,
+                       group_ids: np.ndarray, num_groups: int) -> np.ndarray:
+    if agg.function is AggregateFunction.COUNT and agg.column is None:
+        return np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+    values = relation.column(agg.column).astype(np.float64)
+    mask = relation.null_mask(agg.column)
+    if mask is not None:
+        values = values.copy()
+        weights = (~mask).astype(np.float64)
+    else:
+        weights = np.ones(len(values))
+    if agg.function is AggregateFunction.COUNT:
+        return np.bincount(group_ids, weights=weights, minlength=num_groups)
+    if agg.function in (AggregateFunction.SUM, AggregateFunction.AVG):
+        sums = np.bincount(group_ids, weights=values * weights,
+                           minlength=num_groups)
+        if agg.function is AggregateFunction.SUM:
+            return sums
+        counts = np.bincount(group_ids, weights=weights, minlength=num_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+    # MIN / MAX via sorting group ids then values.
+    result = np.full(num_groups, np.nan)
+    if mask is not None:
+        keep = ~mask
+        values = values[keep]
+        group_ids = group_ids[keep]
+    if len(values):
+        if agg.function is AggregateFunction.MIN:
+            order = np.lexsort((values, group_ids))
+            firsts = np.unique(group_ids[order], return_index=True)
+            result[firsts[0]] = values[order][firsts[1]]
+        elif agg.function is AggregateFunction.MAX:
+            order = np.lexsort((-values, group_ids))
+            firsts = np.unique(group_ids[order], return_index=True)
+            result[firsts[0]] = values[order][firsts[1]]
+        else:  # pragma: no cover - exhaustive
+            raise ExecutionError(f"unsupported aggregate {agg.function}")
+    return result
+
+
+def execute_plan(database: Database, plan: PhysicalPlan) -> ExecutionResult:
+    """Convenience wrapper: ``Executor(database).execute(plan)``."""
+    return Executor(database).execute(plan)

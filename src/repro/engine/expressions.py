@@ -1,0 +1,60 @@
+"""Vectorized predicate evaluation.
+
+SQL three-valued logic for the supported operators reduces to: a NULL
+never satisfies any comparison, so predicate masks are ANDed with the
+non-NULL mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sql.ast import ComparisonOperator, Predicate
+
+__all__ = ["predicate_mask", "conjunction_mask"]
+
+
+def predicate_mask(values: np.ndarray, null_mask: np.ndarray | None,
+                   predicate: Predicate) -> np.ndarray:
+    """Boolean mask of rows satisfying ``predicate``.
+
+    Parameters
+    ----------
+    values:
+        Column values.
+    null_mask:
+        Optional boolean mask of NULL positions (True = NULL).
+    """
+    operator = predicate.operator
+    value = predicate.value
+    if operator is ComparisonOperator.EQ:
+        mask = values == value
+    elif operator is ComparisonOperator.NEQ:
+        mask = values != value
+    elif operator is ComparisonOperator.LT:
+        mask = values < value
+    elif operator is ComparisonOperator.LEQ:
+        mask = values <= value
+    elif operator is ComparisonOperator.GT:
+        mask = values > value
+    elif operator is ComparisonOperator.GEQ:
+        mask = values >= value
+    elif operator is ComparisonOperator.BETWEEN:
+        low, high = value
+        mask = (values >= low) & (values <= high)
+    elif operator is ComparisonOperator.IN:
+        mask = np.isin(values, np.asarray(value))
+    else:  # pragma: no cover - enum is exhaustive
+        raise ExecutionError(f"unsupported operator {operator}")
+    if null_mask is not None:
+        mask = mask & ~null_mask
+    return mask
+
+
+def conjunction_mask(num_rows: int, masks: list[np.ndarray]) -> np.ndarray:
+    """AND a list of masks (all-True for an empty list)."""
+    result = np.ones(num_rows, dtype=np.bool_)
+    for mask in masks:
+        result &= mask
+    return result

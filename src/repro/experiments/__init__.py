@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per paper artifact.
+
+* :mod:`~repro.experiments.setup` — shared experiment context (training
+  fleet, corpus, zero-shot models, IMDB holdout, evaluation workloads).
+* :mod:`~repro.experiments.figure3` — Figure 3 (all four panels).
+* :mod:`~repro.experiments.table1` — Table 1 (incl. the Index row).
+* :mod:`~repro.experiments.learning_curve` — §3.2's "stagnates after 19
+  databases" observation.
+* :mod:`~repro.experiments.fewshot_exp` — few-shot fine-tuning vs
+  workload-driven training from scratch.
+* :mod:`~repro.experiments.report` — plain-text rendering of results.
+
+Every driver accepts an :class:`~repro.experiments.setup.ExperimentScale`
+so the same code runs at test scale, benchmark scale or paper scale.
+"""
+
+from repro.experiments.setup import (
+    ExperimentContext,
+    ExperimentScale,
+    build_context,
+)
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.fewshot_exp import FewShotResult, run_fewshot
+from repro.experiments.learning_curve import (
+    LearningCurveResult,
+    run_learning_curve,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentScale",
+    "FewShotResult",
+    "Figure3Result",
+    "LearningCurveResult",
+    "Table1Result",
+    "build_context",
+    "run_fewshot",
+    "run_figure3",
+    "run_learning_curve",
+    "run_table1",
+]

@@ -1,0 +1,129 @@
+"""Ablations of the zero-shot design choices (DESIGN.md experiment E7).
+
+Three questions the paper's design raises, answered empirically:
+
+1. **Graph structure** — does bottom-up message passing beat a flat
+   (pooled) encoding of the same transferable features?
+2. **Cardinality features** — how much accuracy is lost when operator
+   cardinalities are removed from the encoding (the separation-of-
+   concerns argument of §2.2)?
+3. **Exact vs estimated cardinalities** — the gap Table 1 quantifies.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
+from repro.featurize.graph import (
+    _OPERATOR_KINDS,
+    CardinalitySource,
+    PlanGraph,
+    ZeroShotFeaturizer,
+)
+from repro.models import FlatVectorCostModel, ZeroShotCostModel, q_error_stats
+from repro.models.metrics import QErrorStats
+
+__all__ = ["AblationResult", "run_ablations"]
+
+_CARDINALITY_FEATURE = len(_OPERATOR_KINDS) + 1  # index of log(rows)
+
+
+@dataclass
+class AblationResult:
+    """Median Q-error per ablation variant (evaluated on unseen IMDB)."""
+
+    variants: dict[str, QErrorStats] = field(default_factory=dict)
+
+    def median(self, variant: str) -> float:
+        return self.variants[variant].median
+
+
+def _strip_cardinalities(graphs: list[PlanGraph]) -> list[PlanGraph]:
+    """Zero out the per-operator cardinality feature."""
+    stripped = []
+    for graph in graphs:
+        clone = copy.deepcopy(graph)
+        for row in clone.features["plan_op"]:
+            row[_CARDINALITY_FEATURE] = 0.0
+        stripped.append(clone)
+    return stripped
+
+
+def run_ablations(scale: ExperimentScale | None = None,
+                  context: ExperimentContext | None = None) -> AblationResult:
+    """Train the ablation variants on the shared corpus; evaluate on IMDB."""
+    if context is None:
+        context = build_context(scale, with_imdb_pool=False)
+    source = CardinalitySource.ACTUAL
+    train_graphs = context.corpus.featurize(source)
+
+    featurizer = ZeroShotFeaturizer(source)
+    evaluation_graphs = []
+    truths = []
+    for records in context.evaluation_records.values():
+        for record in records:
+            evaluation_graphs.append(
+                featurizer.featurize(record.plan, context.imdb))
+            truths.append(record.runtime_seconds)
+    truths = np.array(truths)
+
+    result = AblationResult()
+
+    # Full model (graph + message passing + cardinalities).
+    full = context.zero_shot_models[source]
+    result.variants["graph (full model)"] = q_error_stats(
+        full.predict_runtime(evaluation_graphs), truths)
+
+    # Estimated-cardinality variant (the deployable configuration).
+    estimated = context.zero_shot_models[CardinalitySource.ESTIMATED]
+    est_featurizer = ZeroShotFeaturizer(CardinalitySource.ESTIMATED)
+    est_eval = []
+    for records in context.evaluation_records.values():
+        for record in records:
+            est_eval.append(est_featurizer.featurize(record.plan, context.imdb))
+    result.variants["graph (estimated cardinalities)"] = q_error_stats(
+        estimated.predict_runtime(est_eval), truths)
+
+    # Flat featurization: same features, structure pooled away.
+    flat = FlatVectorCostModel(seed=context.scale.seed)
+    flat.fit(train_graphs, context.scale.zero_shot_trainer)
+    result.variants["flat (no message passing)"] = q_error_stats(
+        flat.predict_runtime(evaluation_graphs), truths)
+
+    # No cardinality features: the model must guess selectivities.
+    no_card_model = ZeroShotCostModel(context.scale.zero_shot_config)
+    no_card_model.fit(_strip_cardinalities(train_graphs),
+                      context.scale.zero_shot_trainer)
+    result.variants["graph (no cardinality features)"] = q_error_stats(
+        no_card_model.predict_runtime(_strip_cardinalities(evaluation_graphs)),
+        truths)
+
+    return result
+
+
+def format_ablations(result: AblationResult) -> str:
+    lines = ["Ablations — median Q-error on the unseen IMDB database",
+             "=" * 60]
+    for variant, stats in result.variants.items():
+        lines.append(f"  {variant:<38s} {stats.median:8.2f} "
+                     f"(95th {stats.percentile95:.2f})")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "default", "paper"),
+                        default="default")
+    arguments = parser.parse_args()
+    scale = getattr(ExperimentScale, arguments.scale)()
+    print(format_ablations(run_ablations(scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,111 @@
+"""Few-shot fine-tuning vs workload-driven training from scratch (E6).
+
+The paper (§1, §4.3): fine-tuning a zero-shot model on a few queries of
+the unseen database should outperform (a) the zero-shot model
+out-of-the-box and, crucially, (b) a workload-driven model trained from
+scratch on the same small number of queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
+from repro.featurize.e2e import E2EFeaturizer
+from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.models import E2ECostModel, TrainerConfig, fine_tune, q_error_stats
+
+__all__ = ["FewShotResult", "run_fewshot"]
+
+
+@dataclass
+class FewShotResult:
+    """Median Q-error per adaptation budget."""
+
+    budgets: list[int] = field(default_factory=list)
+    zero_shot_median: float = float("nan")
+    fewshot_medians: list[float] = field(default_factory=list)
+    from_scratch_medians: list[float] = field(default_factory=list)
+
+
+def run_fewshot(scale: ExperimentScale | None = None,
+                context: ExperimentContext | None = None,
+                benchmark: str = "job-light",
+                source: CardinalitySource = CardinalitySource.ESTIMATED
+                ) -> FewShotResult:
+    """Compare zero-shot, few-shot and from-scratch E2E at small budgets."""
+    if context is None:
+        context = build_context(scale)
+    if not context.imdb_pool:
+        raise ExperimentError("few-shot experiment needs the IMDB pool")
+    budgets = [b for b in context.scale.fewshot_budgets
+               if b <= len(context.imdb_pool)]
+    if not budgets:
+        raise ExperimentError("no few-shot budget fits the IMDB pool")
+
+    featurizer = ZeroShotFeaturizer(source)
+    records = context.evaluation_records[benchmark]
+    evaluation_graphs = [featurizer.featurize(r.plan, context.imdb)
+                         for r in records]
+    truths = context.evaluation_truths(benchmark)
+
+    base_model = context.zero_shot_models[source]
+    result = FewShotResult(budgets=budgets)
+    result.zero_shot_median = q_error_stats(
+        base_model.predict_runtime(evaluation_graphs), truths
+    ).median
+
+    for budget in budgets:
+        support = context.imdb_pool[:budget]
+
+        # Few-shot: fine-tune the zero-shot model.
+        support_graphs = [featurizer.featurize(r.plan, context.imdb,
+                                               r.runtime_seconds)
+                          for r in support]
+        tuned = fine_tune(base_model, support_graphs, TrainerConfig(
+            epochs=25, learning_rate=2e-4,
+            batch_size=min(16, budget), validation_fraction=0.0,
+            early_stopping_patience=25, seed=context.scale.seed,
+        ))
+        result.fewshot_medians.append(q_error_stats(
+            tuned.predict_runtime(evaluation_graphs), truths
+        ).median)
+
+        # From scratch: E2E on the same queries.
+        e2e_featurizer = E2EFeaturizer(context.imdb).fit(
+            [r.plan for r in support])
+        e2e_samples = [e2e_featurizer.featurize(r.plan, r.runtime_seconds)
+                       for r in support]
+        e2e = E2ECostModel(e2e_featurizer)
+        e2e.fit(e2e_samples, context.scale.baseline_trainer)
+        predictions = np.empty(len(records))
+        fallback = float(np.median([r.runtime_seconds for r in support]))
+        for index, record in enumerate(records):
+            try:
+                sample = e2e_featurizer.featurize(record.plan)
+                predictions[index] = e2e.predict_runtime([sample])[0]
+            except Exception:
+                predictions[index] = fallback
+        result.from_scratch_medians.append(
+            q_error_stats(predictions, truths).median)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    from repro.experiments.report import format_fewshot
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "default", "paper"),
+                        default="default")
+    arguments = parser.parse_args()
+    scale = getattr(ExperimentScale, arguments.scale)()
+    print(format_fewshot(run_fewshot(scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

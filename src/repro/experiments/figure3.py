@@ -1,0 +1,203 @@
+"""Figure 3: estimation errors of workload-driven models for a varying
+number of training queries, compared with zero-shot cost models.
+
+Four panels:
+
+1-3. median Q-error on *scale*, *synthetic*, *JOB-light* vs the number
+     of training queries available to the workload-driven baselines
+     (MSCN, E2E, Scaled Optimizer Cost), with the two zero-shot models
+     (exact / estimated cardinalities) as horizontal lines — they use
+     **zero** queries on the evaluation database.
+4.   cumulative execution time of the training workload (the cost of
+     deploying a workload-driven model on a new database).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
+from repro.featurize.e2e import E2EFeaturizer
+from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.featurize.mscn import MSCNFeaturizer
+from repro.models import (
+    E2ECostModel,
+    MSCNCostModel,
+    ScaledOptimizerCost,
+    q_error_stats,
+)
+from repro.models.metrics import QErrorStats
+from repro.workload import BENCHMARK_NAMES, WorkloadRunner
+from repro.workload.runner import ExecutedQueryRecord
+
+__all__ = ["Figure3Result", "run_figure3", "evaluate_zero_shot",
+           "train_workload_driven_baselines"]
+
+ZERO_SHOT_EXACT = "Zero-Shot (Exact Cardinalities)"
+ZERO_SHOT_ESTIMATED = "Zero-Shot (Est. Cardinalities)"
+MSCN_NAME = "MSCN (Workload-Driven)"
+E2E_NAME = "E2E (Workload-Driven)"
+SCALED_COST_NAME = "Scaled Optimizer Costs"
+
+
+@dataclass
+class Figure3Result:
+    """All series of the figure.
+
+    ``baseline_series[benchmark][model_name]`` is a list of median
+    Q-errors aligned with ``budgets``; ``zero_shot_medians`` holds the
+    budget-independent zero-shot lines.
+    """
+
+    budgets: list[int]
+    baseline_series: dict[str, dict[str, list[float]]]
+    zero_shot_medians: dict[str, dict[str, float]]
+    execution_hours: list[float]
+    evaluation_stats: dict[str, dict[str, QErrorStats]] = field(
+        default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Zero-shot evaluation (no queries on the evaluation database needed)
+# ----------------------------------------------------------------------
+def evaluate_zero_shot(context: ExperimentContext, benchmark: str,
+                       source: CardinalitySource) -> QErrorStats:
+    records = context.evaluation_records[benchmark]
+    featurizer = ZeroShotFeaturizer(source)
+    graphs = [featurizer.featurize(r.plan, context.imdb) for r in records]
+    model = context.zero_shot_models[source]
+    predictions = model.predict_runtime(graphs)
+    return q_error_stats(predictions, context.evaluation_truths(benchmark))
+
+
+# ----------------------------------------------------------------------
+# Workload-driven baselines at one training budget
+# ----------------------------------------------------------------------
+def train_workload_driven_baselines(context: ExperimentContext,
+                                    budget: int) -> dict[str, object]:
+    """Train MSCN / E2E / ScaledOptimizerCost on ``budget`` IMDB queries."""
+    if budget > len(context.imdb_pool):
+        raise ExperimentError(
+            f"budget {budget} exceeds the IMDB pool "
+            f"({len(context.imdb_pool)} executed queries)"
+        )
+    training = context.imdb_pool[:budget]
+    trainer = context.scale.baseline_trainer
+
+    mscn_featurizer = MSCNFeaturizer(context.imdb).fit(
+        [r.query for r in training])
+    mscn_samples = [mscn_featurizer.featurize(r.query, r.runtime_seconds)
+                    for r in training]
+    mscn = MSCNCostModel(mscn_featurizer)
+    mscn.fit(mscn_samples, trainer)
+
+    e2e_featurizer = E2EFeaturizer(context.imdb).fit(
+        [r.plan for r in training])
+    e2e_samples = [e2e_featurizer.featurize(r.plan, r.runtime_seconds)
+                   for r in training]
+    e2e = E2ECostModel(e2e_featurizer)
+    e2e.fit(e2e_samples, trainer)
+
+    scaled = ScaledOptimizerCost().fit(
+        np.array([r.optimizer_cost for r in training]),
+        np.array([r.runtime_seconds for r in training]),
+    )
+    return {MSCN_NAME: (mscn, mscn_featurizer),
+            E2E_NAME: (e2e, e2e_featurizer),
+            SCALED_COST_NAME: scaled}
+
+
+def _evaluate_baseline(name: str, bundle, records: list[ExecutedQueryRecord],
+                       truths: np.ndarray) -> QErrorStats:
+    """Median Q-error of one baseline on one benchmark.
+
+    Out-of-vocabulary evaluation queries (possible at tiny budgets) are
+    predicted with the training-median runtime — the best a one-hot
+    model can do, and how such gaps surface as error spikes in the
+    paper's MSCN curves.
+    """
+    if name == SCALED_COST_NAME:
+        costs = np.array([r.optimizer_cost for r in records])
+        return q_error_stats(bundle.predict_runtime(costs), truths)
+
+    model, featurizer = bundle
+    predictions = np.empty(len(records))
+    fallback = None
+    for index, record in enumerate(records):
+        try:
+            if name == MSCN_NAME:
+                sample = featurizer.featurize(record.query)
+            else:
+                sample = featurizer.featurize(record.plan)
+            predictions[index] = model.predict_runtime([sample])[0]
+        except Exception:
+            if fallback is None:
+                fallback = float(np.median(truths))
+            predictions[index] = fallback
+    return q_error_stats(predictions, truths)
+
+
+# ----------------------------------------------------------------------
+# The full figure
+# ----------------------------------------------------------------------
+def run_figure3(scale: ExperimentScale | None = None,
+                context: ExperimentContext | None = None) -> Figure3Result:
+    """Regenerate every series of Figure 3."""
+    if context is None:
+        context = build_context(scale)
+    budgets = [b for b in context.scale.training_budgets
+               if b <= len(context.imdb_pool)]
+    if not budgets:
+        raise ExperimentError("no training budget fits the IMDB pool")
+
+    result = Figure3Result(
+        budgets=budgets,
+        baseline_series={b: {MSCN_NAME: [], E2E_NAME: [], SCALED_COST_NAME: []}
+                         for b in BENCHMARK_NAMES},
+        zero_shot_medians={b: {} for b in BENCHMARK_NAMES},
+        execution_hours=[],
+    )
+
+    # Zero-shot lines (budget-independent).
+    for benchmark in BENCHMARK_NAMES:
+        result.evaluation_stats[benchmark] = {}
+        for source, label in ((CardinalitySource.ACTUAL, ZERO_SHOT_EXACT),
+                              (CardinalitySource.ESTIMATED,
+                               ZERO_SHOT_ESTIMATED)):
+            stats = evaluate_zero_shot(context, benchmark, source)
+            result.zero_shot_medians[benchmark][label] = stats.median
+            result.evaluation_stats[benchmark][label] = stats
+
+    # Workload-driven curves + execution-time panel.
+    for budget in budgets:
+        baselines = train_workload_driven_baselines(context, budget)
+        result.execution_hours.append(
+            WorkloadRunner.total_execution_hours(context.imdb_pool[:budget])
+        )
+        for benchmark in BENCHMARK_NAMES:
+            records = context.evaluation_records[benchmark]
+            truths = context.evaluation_truths(benchmark)
+            for name, bundle in baselines.items():
+                stats = _evaluate_baseline(name, bundle, records, truths)
+                result.baseline_series[benchmark][name].append(stats.median)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    from repro.experiments.report import format_figure3
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "default", "paper"),
+                        default="default")
+    arguments = parser.parse_args()
+    scale = getattr(ExperimentScale, arguments.scale)()
+    print(format_figure3(run_figure3(scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Learning curve over the number of training databases (E5).
+
+The paper (§3.2): *"To decide which number of training databases and
+workloads is sufficient, we evaluated the performance on a holdout test
+database as we added additional training databases.  After 19 databases,
+the performance stagnated."*
+
+This driver retrains the zero-shot model on growing prefixes of the
+training fleet and reports the median Q-error on the unseen IMDB
+holdout (mixed over the three benchmark workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
+from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.models import ZeroShotCostModel, q_error_stats
+
+__all__ = ["LearningCurveResult", "run_learning_curve"]
+
+
+@dataclass
+class LearningCurveResult:
+    """Median holdout Q-error as the training fleet grows."""
+
+    database_counts: list[int] = field(default_factory=list)
+    median_q_errors: list[float] = field(default_factory=list)
+
+    @property
+    def final_median(self) -> float:
+        return self.median_q_errors[-1]
+
+    def improvement(self) -> float:
+        """Error reduction factor from the first to the last point."""
+        return self.median_q_errors[0] / self.median_q_errors[-1]
+
+
+def run_learning_curve(scale: ExperimentScale | None = None,
+                       context: ExperimentContext | None = None,
+                       source: CardinalitySource = CardinalitySource.ACTUAL,
+                       database_counts: list[int] | None = None
+                       ) -> LearningCurveResult:
+    """Train on 1..N databases; evaluate each model on unseen IMDB."""
+    if context is None:
+        context = build_context(scale, with_imdb_pool=False)
+    names = list(context.corpus.records_by_database)
+    if database_counts is None:
+        total = len(names)
+        database_counts = sorted({1, max(total // 2, 1), total})
+    if max(database_counts) > len(names):
+        raise ExperimentError(
+            f"requested {max(database_counts)} databases, corpus has {len(names)}"
+        )
+
+    # Evaluation set: all three benchmarks pooled.
+    featurizer = ZeroShotFeaturizer(source)
+    evaluation_graphs = []
+    truths = []
+    for records in context.evaluation_records.values():
+        for record in records:
+            evaluation_graphs.append(
+                featurizer.featurize(record.plan, context.imdb))
+            truths.append(record.runtime_seconds)
+    truths = np.array(truths)
+
+    result = LearningCurveResult()
+    for count in database_counts:
+        graphs = context.corpus.featurize(source, names[:count])
+        model = ZeroShotCostModel(context.scale.zero_shot_config)
+        model.fit(graphs, context.scale.zero_shot_trainer)
+        stats = q_error_stats(model.predict_runtime(evaluation_graphs), truths)
+        result.database_counts.append(count)
+        result.median_q_errors.append(stats.median)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    from repro.experiments.report import format_learning_curve
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "default", "paper"),
+                        default="default")
+    arguments = parser.parse_args()
+    scale = getattr(ExperimentScale, arguments.scale)()
+    print(format_learning_curve(run_learning_curve(scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results, in the paper's layout."""
+
+from __future__ import annotations
+
+from repro.experiments.fewshot_exp import FewShotResult
+from repro.experiments.figure3 import (
+    Figure3Result,
+    ZERO_SHOT_ESTIMATED,
+    ZERO_SHOT_EXACT,
+)
+from repro.experiments.learning_curve import LearningCurveResult
+from repro.experiments.table1 import Table1Result
+from repro.featurize.graph import CardinalitySource
+
+__all__ = ["format_figure3", "format_table1", "format_learning_curve",
+           "format_fewshot"]
+
+
+def format_figure3(result: Figure3Result) -> str:
+    """Render the four panels of Figure 3 as text tables."""
+    lines = ["Figure 3 — Median Q-error vs number of training queries",
+             "=" * 70]
+    for benchmark, series in result.baseline_series.items():
+        lines.append(f"\nPanel: {benchmark}")
+        header = f"  {'model':35s}" + "".join(
+            f"{budget:>10d}" for budget in result.budgets)
+        lines.append(header)
+        for name, medians in series.items():
+            row = f"  {name:35s}" + "".join(f"{m:10.2f}" for m in medians)
+            lines.append(row)
+        for label in (ZERO_SHOT_EXACT, ZERO_SHOT_ESTIMATED):
+            median = result.zero_shot_medians[benchmark][label]
+            row = (f"  {label:35s}" +
+                   f"{median:10.2f}" * len(result.budgets) +
+                   "   (0 queries on eval DB)")
+            lines.append(row)
+    lines.append("\nPanel: execution time of the training workload")
+    lines.append(f"  {'#queries':>10s}{'hours':>12s}")
+    for budget, hours in zip(result.budgets, result.execution_hours):
+        lines.append(f"  {budget:>10d}{hours:>12.4f}")
+    return "\n".join(lines)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table 1 exactly like the paper (median / 95th / max)."""
+    lines = [
+        "Table 1 — Estimation errors (Q-errors) of zero-shot models",
+        "=" * 78,
+        f"{'Workload':<12s} | {'Zero-Shot (Exact Card.)':^28s} | "
+        f"{'Zero-Shot (Estimated Card.)':^28s}",
+        f"{'':<12s} | {'median':>8s} {'95th':>8s} {'max':>8s}  | "
+        f"{'median':>8s} {'95th':>8s} {'max':>8s}",
+        "-" * 78,
+    ]
+    for row_name in result.row_names:
+        exact = result.rows[row_name][CardinalitySource.ACTUAL]
+        estimated = result.rows[row_name][CardinalitySource.ESTIMATED]
+        lines.append(
+            f"{row_name:<12s} | {exact.median:8.2f} {exact.percentile95:8.2f} "
+            f"{exact.maximum:8.2f}  | {estimated.median:8.2f} "
+            f"{estimated.percentile95:8.2f} {estimated.maximum:8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_learning_curve(result: LearningCurveResult) -> str:
+    lines = ["Learning curve — holdout median Q-error vs #training databases",
+             "=" * 64,
+             f"  {'#databases':>12s}{'median Q-error':>18s}"]
+    for count, median in zip(result.database_counts, result.median_q_errors):
+        lines.append(f"  {count:>12d}{median:>18.2f}")
+    lines.append(f"\n  improvement factor first->last: "
+                 f"{result.improvement():.2f}x")
+    return "\n".join(lines)
+
+
+def format_fewshot(result: FewShotResult) -> str:
+    lines = ["Few-shot adaptation — median Q-error vs adaptation budget",
+             "=" * 64,
+             f"  zero-shot (0 queries): {result.zero_shot_median:.2f}",
+             f"  {'#queries':>10s}{'few-shot':>12s}{'E2E scratch':>14s}"]
+    for budget, few, scratch in zip(result.budgets, result.fewshot_medians,
+                                    result.from_scratch_medians):
+        lines.append(f"  {budget:>10d}{few:>12.2f}{scratch:>14.2f}")
+    return "\n".join(lines)

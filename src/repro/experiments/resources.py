@@ -1,0 +1,99 @@
+"""Resource-consumption prediction (E8, paper §4.3).
+
+    *"zero-shot cost models could be used to predict not only the
+    runtime but also other aspects such as resource consumption and thus
+    be used also for runtime decisions (e.g., query scheduling)."*
+
+The same transferable graph encoding and architecture are trained with
+different labels — peak working memory and pages read — and evaluated on
+the unseen IMDB database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
+from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.models import ZeroShotCostModel, q_error_stats
+from repro.models.metrics import QErrorStats
+
+__all__ = ["ResourceResult", "run_resources"]
+
+_TARGETS = ("runtime", "memory", "io")
+
+
+@dataclass
+class ResourceResult:
+    """Q-error stats per prediction target on the unseen database."""
+
+    stats: dict[str, QErrorStats] = field(default_factory=dict)
+
+
+def _evaluation_labels(context: ExperimentContext, target: str) -> np.ndarray:
+    values = []
+    for records in context.evaluation_records.values():
+        for record in records:
+            if target == "runtime":
+                values.append(record.runtime_seconds)
+            elif target == "memory":
+                values.append(record.memory_peak_bytes + 1.0)
+            else:
+                values.append(record.io_pages + 1.0)
+    return np.array(values)
+
+
+def run_resources(scale: ExperimentScale | None = None,
+                  context: ExperimentContext | None = None,
+                  source: CardinalitySource = CardinalitySource.ACTUAL
+                  ) -> ResourceResult:
+    """Train one zero-shot model per resource target; evaluate on IMDB."""
+    if context is None:
+        context = build_context(scale, with_imdb_pool=False)
+
+    featurizer = ZeroShotFeaturizer(source)
+    evaluation_graphs = []
+    for records in context.evaluation_records.values():
+        for record in records:
+            evaluation_graphs.append(
+                featurizer.featurize(record.plan, context.imdb))
+
+    result = ResourceResult()
+    for target in _TARGETS:
+        if target == "runtime":
+            model = context.zero_shot_models[source]
+        else:
+            graphs = context.corpus.featurize(source, target=target)
+            model = ZeroShotCostModel(context.scale.zero_shot_config)
+            model.fit(graphs, context.scale.zero_shot_trainer)
+        predictions = model.predict_runtime(evaluation_graphs)
+        truths = _evaluation_labels(context, target)
+        result.stats[target] = q_error_stats(predictions, truths)
+    return result
+
+
+def format_resources(result: ResourceResult) -> str:
+    lines = ["Resource prediction — Q-errors on the unseen IMDB database",
+             "=" * 62,
+             f"  {'target':<12s}{'median':>10s}{'95th':>10s}{'max':>10s}"]
+    for target, stats in result.stats.items():
+        lines.append(f"  {target:<12s}{stats.median:>10.2f}"
+                     f"{stats.percentile95:>10.2f}{stats.maximum:>10.2f}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "default", "paper"),
+                        default="default")
+    arguments = parser.parse_args()
+    scale = getattr(ExperimentScale, arguments.scale)()
+    print(format_resources(run_resources(scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,218 @@
+"""Shared experiment setup.
+
+``build_context`` performs the paper's one-time effort: generate the
+training fleet, collect the multi-database training corpus (under random
+physical designs), train the two zero-shot models (estimated / exact
+cardinalities), build the unseen IMDB database, run the evaluation
+workloads, and execute the IMDB training-query pool that the
+workload-driven baselines consume.
+
+Every experiment driver then reuses the context, so benchmarks share the
+expensive steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db import generate_training_databases, make_imdb_database
+from repro.db.database import Database
+from repro.errors import ExperimentError
+from repro.featurize.graph import CardinalitySource
+from repro.models import TrainerConfig, ZeroShotConfig, ZeroShotCostModel
+from repro.workload import (
+    BENCHMARK_NAMES,
+    WorkloadRunner,
+    WorkloadSpec,
+    collect_training_corpus,
+    generate_workload,
+    make_benchmark_workload,
+)
+from repro.workload.corpus import TrainingCorpus
+from repro.workload.runner import ExecutedQueryRecord
+
+__all__ = ["ExperimentScale", "ExperimentContext", "build_context"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for wall-clock time.
+
+    ``paper()`` mirrors the paper's setup (19 databases x 5,000 queries,
+    budgets up to 50,000); ``default()`` is sized for the benchmark
+    suite; ``quick()`` for unit tests.
+    """
+
+    num_training_databases: int = 8
+    queries_per_database: int = 150
+    random_indexes_per_database: int = 2
+    #: Row-count range of the synthetic training fleet.  Must straddle
+    #: the evaluation database's table sizes: zero-shot models
+    #: interpolate across data scales, they do not extrapolate far
+    #: beyond what the fleet covered.
+    training_db_min_rows: int = 1_000
+    training_db_max_rows: int = 80_000
+    imdb_scale: float = 0.5
+    evaluation_queries: int = 40
+    training_budgets: tuple[int, ...] = (100, 300, 1000, 3000)
+    fewshot_budgets: tuple[int, ...] = (10, 25, 50, 100)
+    zero_shot_config: ZeroShotConfig = ZeroShotConfig(hidden_dim=64)
+    zero_shot_trainer: TrainerConfig = TrainerConfig(
+        epochs=60, batch_size=64, early_stopping_patience=15)
+    baseline_trainer: TrainerConfig = TrainerConfig(
+        epochs=50, batch_size=32, early_stopping_patience=12)
+    #: Measurement noise of *training* runtimes (single runs, as in
+    #: production query logs) and of *evaluation* runtimes (the paper
+    #: repeats evaluation measurements and reports medians).
+    training_noise_sigma: float = 0.15
+    evaluation_noise_sigma: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_training_databases < 1:
+            raise ExperimentError("need at least one training database")
+        if not self.training_budgets:
+            raise ExperimentError("need at least one training budget")
+
+    @property
+    def pool_size(self) -> int:
+        """IMDB training-query pool = the largest baseline budget."""
+        return max(self.training_budgets)
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Unit-test scale (seconds)."""
+        return cls(
+            num_training_databases=4,
+            queries_per_database=60,
+            random_indexes_per_database=1,
+            training_db_min_rows=300,
+            training_db_max_rows=6_000,
+            imdb_scale=0.04,
+            evaluation_queries=15,
+            training_budgets=(30, 100),
+            fewshot_budgets=(10, 30),
+            zero_shot_config=ZeroShotConfig(hidden_dim=32),
+            zero_shot_trainer=TrainerConfig(epochs=40, batch_size=32,
+                                            early_stopping_patience=40),
+            baseline_trainer=TrainerConfig(epochs=20, batch_size=16,
+                                           early_stopping_patience=20),
+        )
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        """Benchmark scale (a few minutes for the full suite)."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """The paper's setup (hours of compute)."""
+        return cls(
+            num_training_databases=19,
+            queries_per_database=5_000,
+            random_indexes_per_database=3,
+            training_db_min_rows=2_000,
+            training_db_max_rows=120_000,
+            imdb_scale=1.0,
+            evaluation_queries=200,
+            training_budgets=(100, 500, 1_000, 5_000, 10_000, 50_000),
+            fewshot_budgets=(10, 50, 100, 500),
+            zero_shot_trainer=TrainerConfig(epochs=120, batch_size=128,
+                                            early_stopping_patience=20),
+            baseline_trainer=TrainerConfig(epochs=100, batch_size=64,
+                                           early_stopping_patience=15),
+        )
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the experiment drivers share."""
+
+    scale: ExperimentScale
+    training_databases: list[Database]
+    corpus: TrainingCorpus
+    zero_shot_models: dict[CardinalitySource, ZeroShotCostModel]
+    imdb: Database
+    evaluation_records: dict[str, list[ExecutedQueryRecord]]
+    imdb_pool: list[ExecutedQueryRecord] = field(default_factory=list)
+
+    def evaluation_truths(self, benchmark: str) -> np.ndarray:
+        return np.array([r.runtime_seconds
+                         for r in self.evaluation_records[benchmark]])
+
+
+def train_zero_shot_models(corpus: TrainingCorpus, scale: ExperimentScale,
+                           sources: tuple[CardinalitySource, ...] = (
+                               CardinalitySource.ESTIMATED,
+                               CardinalitySource.ACTUAL,
+                           )) -> dict[CardinalitySource, ZeroShotCostModel]:
+    """Train one zero-shot model per cardinality source."""
+    models = {}
+    for source in sources:
+        graphs = corpus.featurize(source)
+        model = ZeroShotCostModel(scale.zero_shot_config)
+        model.fit(graphs, scale.zero_shot_trainer)
+        models[source] = model
+    return models
+
+
+def build_context(scale: ExperimentScale | None = None,
+                  with_imdb_pool: bool = True) -> ExperimentContext:
+    """Run the one-time setup and return the shared context."""
+    scale = scale or ExperimentScale.default()
+    rng = np.random.default_rng(scale.seed)
+
+    # 1. Training fleet + corpus (random physical designs included, §4.1).
+    training_databases = generate_training_databases(
+        scale.num_training_databases, base_seed=scale.seed,
+        min_rows=scale.training_db_min_rows,
+        max_rows=scale.training_db_max_rows,
+    )
+    corpus = collect_training_corpus(
+        training_databases, scale.queries_per_database,
+        seed=scale.seed,
+        random_indexes_per_database=scale.random_indexes_per_database,
+        noise_sigma=scale.training_noise_sigma,
+    )
+
+    # 2. Zero-shot models (the one-time training effort).
+    zero_shot_models = train_zero_shot_models(corpus, scale)
+
+    # 3. The unseen evaluation database and its benchmark workloads.
+    imdb = make_imdb_database(scale=scale.imdb_scale,
+                              seed=scale.seed + 17)
+    evaluation_records = {}
+    for benchmark in BENCHMARK_NAMES:
+        queries = make_benchmark_workload(
+            imdb, benchmark, scale.evaluation_queries,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        runner = WorkloadRunner(imdb, seed=int(rng.integers(0, 2**31 - 1)),
+                                noise_sigma=scale.evaluation_noise_sigma)
+        evaluation_records[benchmark] = runner.run(queries)
+
+    # 4. IMDB training pool for the workload-driven baselines.  The paper
+    #    stresses that these queries must be *executed* on the new
+    #    database before a workload-driven model can be trained — the
+    #    cost Figure 3's right panel quantifies.
+    imdb_pool: list[ExecutedQueryRecord] = []
+    if with_imdb_pool:
+        pool_queries = generate_workload(imdb, WorkloadSpec(
+            num_queries=scale.pool_size,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        ))
+        runner = WorkloadRunner(imdb, seed=int(rng.integers(0, 2**31 - 1)),
+                                noise_sigma=scale.training_noise_sigma)
+        imdb_pool = runner.run(pool_queries)
+
+    return ExperimentContext(
+        scale=scale,
+        training_databases=training_databases,
+        corpus=corpus,
+        zero_shot_models=zero_shot_models,
+        imdb=imdb,
+        evaluation_records=evaluation_records,
+        imdb_pool=imdb_pool,
+    )

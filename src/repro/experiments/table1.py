@@ -1,0 +1,133 @@
+"""Table 1: Q-errors (median / 95th / max) of zero-shot models.
+
+Rows *Scale*, *Synthetic*, *JOB-light* evaluate plain cost estimation on
+the unseen IMDB database; row *Index* evaluates the What-If mode
+(Section 4.1): the model estimates runtimes of queries *as if a certain
+index existed* — on a database it has never seen, with indexes it has
+never seen.
+
+Ground truth for the Index row: the index is actually created on IMDB,
+the query re-planned (now using index scans / index nested-loop joins),
+executed and simulated.  The model only sees the what-if plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.figure3 import evaluate_zero_shot
+from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
+from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.models import q_error_stats
+from repro.models.metrics import QErrorStats
+from repro.workload import WorkloadRunner, make_benchmark_workload
+
+__all__ = ["Table1Result", "run_table1", "build_index_evaluation"]
+
+_ROW_ORDER = ("Scale", "Synthetic", "JOB-light", "Index")
+_BENCHMARK_OF_ROW = {"Scale": "scale", "Synthetic": "synthetic",
+                     "JOB-light": "job-light"}
+
+
+@dataclass
+class Table1Result:
+    """Rows of Table 1: row name -> source -> QErrorStats."""
+
+    rows: dict[str, dict[CardinalitySource, QErrorStats]] = \
+        field(default_factory=dict)
+
+    @property
+    def row_names(self) -> tuple[str, ...]:
+        return tuple(name for name in _ROW_ORDER if name in self.rows)
+
+
+def build_index_evaluation(context: ExperimentContext, seed: int = 123):
+    """Create the what-if index workload on IMDB.
+
+    For each query, an index is created on a randomly selected predicate
+    attribute of that query (as in the paper), the query re-planned and
+    executed under it, then the index is dropped.  Returns per-query
+    (plan, truth) pairs with the index present during featurization.
+    """
+    rng = np.random.default_rng(seed)
+    queries = make_benchmark_workload(
+        context.imdb, "scale", context.scale.evaluation_queries, seed=seed
+    )
+    evaluated = []
+    for query in queries:
+        # Any predicate attribute can carry the index (categorical
+        # equality benefits from a B-tree just like numeric ranges).
+        candidates = [p.column for p in query.predicates]
+        if not candidates:
+            continue
+        target = candidates[int(rng.integers(0, len(candidates)))]
+        table_name = query.table_ref(target.table).table_name
+        index_name = f"whatif_eval_{table_name}_{target.column}"
+        if context.imdb.indexes_on(table_name, target.column):
+            index_created = False
+        else:
+            context.imdb.create_index(index_name, table_name, target.column)
+            index_created = True
+        try:
+            runner = WorkloadRunner(context.imdb,
+                                    seed=int(rng.integers(0, 2**31 - 1)))
+            record = runner.run_query(query)
+            graphs = {}
+            for source in (CardinalitySource.ESTIMATED,
+                           CardinalitySource.ACTUAL):
+                graphs[source] = ZeroShotFeaturizer(source).featurize(
+                    record.plan, context.imdb
+                )
+            evaluated.append((graphs, record.runtime_seconds))
+        finally:
+            if index_created:
+                context.imdb.drop_index(index_name)
+    if not evaluated:
+        raise ExperimentError("index evaluation produced no queries")
+    return evaluated
+
+
+def run_table1(scale: ExperimentScale | None = None,
+               context: ExperimentContext | None = None) -> Table1Result:
+    """Regenerate Table 1."""
+    if context is None:
+        context = build_context(scale, with_imdb_pool=False)
+    result = Table1Result()
+
+    for row, benchmark in _BENCHMARK_OF_ROW.items():
+        result.rows[row] = {
+            source: evaluate_zero_shot(context, benchmark, source)
+            for source in (CardinalitySource.ACTUAL,
+                           CardinalitySource.ESTIMATED)
+        }
+
+    index_evaluation = build_index_evaluation(
+        context, seed=context.scale.seed + 99
+    )
+    truths = np.array([truth for _, truth in index_evaluation])
+    result.rows["Index"] = {}
+    for source in (CardinalitySource.ACTUAL, CardinalitySource.ESTIMATED):
+        graphs = [g[source] for g, _ in index_evaluation]
+        predictions = context.zero_shot_models[source].predict_runtime(graphs)
+        result.rows["Index"][source] = q_error_stats(predictions, truths)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    from repro.experiments.report import format_table1
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "default", "paper"),
+                        default="default")
+    arguments = parser.parse_args()
+    scale = getattr(ExperimentScale, arguments.scale)()
+    print(format_table1(run_table1(scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,41 @@
+"""Featurizations.
+
+* :mod:`~repro.featurize.graph` — the paper's transferable graph
+  encoding (Figure 2): heterogeneous nodes for plan operators, tables,
+  columns, predicates, aggregates and indexes, annotated with
+  *transferable* features only.
+* :mod:`~repro.featurize.mscn` — MSCN's set-based one-hot featurization
+  (database-specific, non-transferable baseline).
+* :mod:`~repro.featurize.e2e` — E2E's plan-tree featurization with
+  one-hot column identities and predicate literals (database-specific
+  baseline).
+* :mod:`~repro.featurize.plan_features` — a flat vector featurization
+  used by ablations.
+"""
+
+from repro.featurize.batch import GraphBatch, batch_graphs
+from repro.featurize.e2e import E2EFeaturizer, E2ETreeSample
+from repro.featurize.graph import (
+    NODE_TYPES,
+    CardinalitySource,
+    PlanGraph,
+    ZeroShotFeaturizer,
+)
+from repro.featurize.mscn import MSCNFeaturizer, MSCNSample
+from repro.featurize.plan_features import flat_plan_features
+from repro.featurize.scalers import StandardScaler
+
+__all__ = [
+    "CardinalitySource",
+    "E2EFeaturizer",
+    "E2ETreeSample",
+    "GraphBatch",
+    "MSCNFeaturizer",
+    "MSCNSample",
+    "NODE_TYPES",
+    "PlanGraph",
+    "StandardScaler",
+    "ZeroShotFeaturizer",
+    "batch_graphs",
+    "flat_plan_features",
+]

@@ -1,0 +1,173 @@
+"""Batching of plan graphs for vectorized DAG message passing.
+
+A :class:`GraphBatch` merges many :class:`~repro.featurize.graph.PlanGraph`
+objects into one big DAG with batch-global node ids, groups nodes by
+*topological level* and, within a level, by node type.  The model then
+processes one level at a time with scatter-add child aggregation —
+the DeepSets-style bottom-up pass of the paper, fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FeaturizationError
+from repro.featurize.graph import FEATURE_DIMS, NODE_TYPES, PlanGraph
+from repro.featurize.scalers import StandardScaler
+
+__all__ = ["LevelSpec", "GraphBatch", "batch_graphs", "fit_scalers"]
+
+
+@dataclass
+class LevelSpec:
+    """One topological level of the batched DAG.
+
+    Attributes
+    ----------
+    parent_ids:
+        Batch-global ids of the nodes updated at this level.
+    edge_child_ids / edge_parent_slots:
+        For every incoming edge of this level: the child's global id and
+        the parent's slot (index into ``parent_ids``).
+    type_slots:
+        For each node type, the slots (into ``parent_ids``) of parents
+        of that type — the per-type combine MLP is applied group-wise.
+    """
+
+    parent_ids: np.ndarray
+    edge_child_ids: np.ndarray
+    edge_parent_slots: np.ndarray
+    type_slots: dict[str, np.ndarray]
+
+
+@dataclass
+class GraphBatch:
+    """A batch of plan graphs ready for the model."""
+
+    num_nodes: int
+    features: dict[str, np.ndarray]
+    type_positions: dict[str, np.ndarray]
+    levels: list[LevelSpec]
+    roots: np.ndarray
+    targets: np.ndarray | None = None
+    graph_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.roots)
+
+
+def fit_scalers(graphs: list[PlanGraph]) -> dict[str, StandardScaler]:
+    """Fit per-node-type scalers over a corpus of raw graphs."""
+    if not graphs:
+        raise FeaturizationError("cannot fit scalers on an empty corpus")
+    scalers: dict[str, StandardScaler] = {}
+    for node_type in NODE_TYPES:
+        matrices = [g.feature_matrix(node_type) for g in graphs]
+        stacked = np.concatenate(matrices, axis=0)
+        if len(stacked) == 0:
+            # Node type absent from the corpus: identity scaling.
+            scaler = StandardScaler(
+                mean=np.zeros(FEATURE_DIMS[node_type]),
+                std=np.ones(FEATURE_DIMS[node_type]),
+            )
+        else:
+            scaler = StandardScaler().fit(stacked)
+        scalers[node_type] = scaler
+    return scalers
+
+
+def batch_graphs(graphs: list[PlanGraph],
+                 scalers: dict[str, StandardScaler] | None = None,
+                 require_targets: bool = False) -> GraphBatch:
+    """Merge graphs into one batch (optionally scaling features)."""
+    if not graphs:
+        raise FeaturizationError("cannot batch zero graphs")
+
+    offsets = np.cumsum([0] + [g.num_nodes for g in graphs])
+    num_nodes = int(offsets[-1])
+
+    # Per-type features and their global positions.
+    features: dict[str, np.ndarray] = {}
+    type_positions: dict[str, np.ndarray] = {}
+    for node_type in NODE_TYPES:
+        matrices = []
+        positions = []
+        for graph, offset in zip(graphs, offsets[:-1]):
+            matrix = graph.feature_matrix(node_type)
+            if len(matrix):
+                matrices.append(matrix)
+                local_ids = [i for i, t in enumerate(graph.node_type_of)
+                             if t == node_type]
+                positions.append(np.asarray(local_ids, dtype=np.int64) + offset)
+        if matrices:
+            stacked = np.concatenate(matrices, axis=0)
+            type_positions[node_type] = np.concatenate(positions)
+        else:
+            stacked = np.zeros((0, FEATURE_DIMS[node_type]))
+            type_positions[node_type] = np.zeros(0, dtype=np.int64)
+        if scalers is not None and len(stacked):
+            stacked = scalers[node_type].transform(stacked)
+        features[node_type] = stacked
+
+    # Global edges and levels.
+    node_types_global: list[str] = []
+    levels_global: list[int] = []
+    edges_child: list[int] = []
+    edges_parent: list[int] = []
+    roots = []
+    targets = []
+    for graph, offset in zip(graphs, offsets[:-1]):
+        node_types_global.extend(graph.node_type_of)
+        levels_global.extend(graph.levels())
+        for child, parent in graph.edges:
+            edges_child.append(child + offset)
+            edges_parent.append(parent + offset)
+        roots.append(graph.root + offset)
+        if graph.target_log_runtime is not None:
+            targets.append(graph.target_log_runtime)
+        elif require_targets:
+            raise FeaturizationError("graph is missing its runtime label")
+
+    edges_child_arr = np.asarray(edges_child, dtype=np.int64)
+    edges_parent_arr = np.asarray(edges_parent, dtype=np.int64)
+    level_arr = np.asarray(levels_global, dtype=np.int64)
+    max_level = int(level_arr.max()) if num_nodes else 0
+
+    level_specs: list[LevelSpec] = []
+    parent_levels = level_arr[edges_parent_arr] if len(edges_parent_arr) else \
+        np.zeros(0, dtype=np.int64)
+    for level in range(1, max_level + 1):
+        parent_ids = np.flatnonzero(level_arr == level)
+        if len(parent_ids) == 0:
+            continue
+        slot_of = {int(pid): slot for slot, pid in enumerate(parent_ids)}
+        edge_mask = parent_levels == level
+        edge_children = edges_child_arr[edge_mask]
+        edge_parents = edges_parent_arr[edge_mask]
+        edge_slots = np.asarray([slot_of[int(p)] for p in edge_parents],
+                                dtype=np.int64)
+        type_slots: dict[str, np.ndarray] = {}
+        for node_type in NODE_TYPES:
+            slots = [slot for slot, pid in enumerate(parent_ids)
+                     if node_types_global[pid] == node_type]
+            if slots:
+                type_slots[node_type] = np.asarray(slots, dtype=np.int64)
+        level_specs.append(LevelSpec(
+            parent_ids=parent_ids,
+            edge_child_ids=edge_children,
+            edge_parent_slots=edge_slots,
+            type_slots=type_slots,
+        ))
+
+    return GraphBatch(
+        num_nodes=num_nodes,
+        features=features,
+        type_positions=type_positions,
+        levels=level_specs,
+        roots=np.asarray(roots, dtype=np.int64),
+        targets=np.asarray(targets) if len(targets) == len(graphs) else None,
+        graph_sizes=[g.num_nodes for g in graphs],
+    )

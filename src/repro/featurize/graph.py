@@ -1,0 +1,303 @@
+"""The paper's transferable graph encoding (Figure 2).
+
+A physical plan is encoded as a heterogeneous DAG:
+
+* one **plan_op** node per physical operator (one-hot operator kind,
+  log cardinality, log tuple width),
+* a **table** node per scanned table (log tuples, log pages, log width),
+* a **column** node per referenced column (data-type one-hot, byte
+  width, log distinct count, null fraction),
+* a **predicate** node per filter (comparison-operator one-hot, IN-list
+  size) — literal *values* are deliberately **not** encoded; their effect
+  enters through cardinalities (separation of concerns, §2.2),
+* an **aggregate** node per aggregate function (function one-hot),
+* an **index** node per index used by a scan (log height, log leaf
+  pages, uniqueness) — the extension the paper proposes for what-if
+  index tuning.
+
+Every feature is consistent across databases: nothing identifies *which*
+table or column is meant, only its physical characteristics.  That is
+the property that lets one model serve unseen databases.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.types import DataType
+from repro.errors import FeaturizationError
+from repro.plans.operators import (
+    HashAggregate,
+    HashBuild,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PlainAggregate,
+    PlanNode,
+    SeqScan,
+    Sort,
+)
+from repro.plans.plan import PhysicalPlan
+from repro.sql.ast import AggregateFunction, ColumnRef, ComparisonOperator
+
+__all__ = ["CardinalitySource", "PlanGraph", "ZeroShotFeaturizer",
+           "NODE_TYPES", "FEATURE_DIMS"]
+
+
+class CardinalitySource(enum.Enum):
+    """Where per-operator cardinality features come from.
+
+    ``ESTIMATED`` uses the optimizer's histogram-based estimates (the
+    deployable configuration); ``ACTUAL`` uses true cardinalities (the
+    paper's upper baseline, from execution or a data-driven model).
+    """
+
+    ESTIMATED = "estimated"
+    ACTUAL = "actual"
+
+
+_OPERATOR_KINDS = (
+    SeqScan, IndexScan, HashBuild, HashJoin, MergeJoin, NestedLoopJoin,
+    Sort, HashAggregate, PlainAggregate,
+)
+_OPERATOR_INDEX = {cls.__name__: i for i, cls in enumerate(_OPERATOR_KINDS)}
+
+_COMPARISON_INDEX = {op: i for i, op in enumerate(ComparisonOperator)}
+_DATATYPE_INDEX = {dt: i for i, dt in enumerate(DataType)}
+_AGGREGATE_INDEX = {fn: i for i, fn in enumerate(AggregateFunction)}
+
+NODE_TYPES = ("plan_op", "table", "column", "predicate", "aggregate", "index")
+
+FEATURE_DIMS = {
+    "plan_op": len(_OPERATOR_KINDS) + 3,   # one-hot + inl flag + rows + width
+    "table": 3,
+    "column": len(_DATATYPE_INDEX) + 3,
+    "predicate": len(_COMPARISON_INDEX) + 1,
+    "aggregate": len(_AGGREGATE_INDEX) + 1,
+    "index": 3,
+}
+
+
+def _log(value: float) -> float:
+    return math.log1p(max(float(value), 0.0))
+
+
+@dataclass
+class PlanGraph:
+    """One featurized plan (raw, unscaled features)."""
+
+    features: dict[str, list[np.ndarray]] = field(
+        default_factory=lambda: {t: [] for t in NODE_TYPES})
+    node_type_of: list[str] = field(default_factory=list)
+    type_row_of: list[int] = field(default_factory=list)
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    root: int = -1
+    target_log_runtime: float | None = None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_type_of)
+
+    def add_node(self, node_type: str, features: np.ndarray) -> int:
+        expected = FEATURE_DIMS[node_type]
+        if features.shape != (expected,):
+            raise FeaturizationError(
+                f"{node_type} features must have shape ({expected},), "
+                f"got {features.shape}"
+            )
+        node_id = self.num_nodes
+        self.node_type_of.append(node_type)
+        self.type_row_of.append(len(self.features[node_type]))
+        self.features[node_type].append(features)
+        return node_id
+
+    def add_edge(self, child: int, parent: int) -> None:
+        if child == parent:
+            raise FeaturizationError("self edges are not allowed")
+        self.edges.append((child, parent))
+
+    def feature_matrix(self, node_type: str) -> np.ndarray:
+        rows = self.features[node_type]
+        if not rows:
+            return np.zeros((0, FEATURE_DIMS[node_type]))
+        return np.stack(rows)
+
+    def levels(self) -> list[int]:
+        """Level per node: leaves 0, parents 1 + max(children)."""
+        level = [0] * self.num_nodes
+        children: dict[int, list[int]] = {}
+        for child, parent in self.edges:
+            children.setdefault(parent, []).append(child)
+        # Nodes were added children-first except plan ops; iterate until
+        # fixpoint (graphs are tiny, this is simplest and safe for DAGs).
+        changed = True
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > self.num_nodes + 2:
+                raise FeaturizationError("cycle detected in plan graph")
+            for parent, kids in children.items():
+                wanted = 1 + max(level[k] for k in kids)
+                if level[parent] < wanted:
+                    level[parent] = wanted
+                    changed = True
+        return level
+
+
+class ZeroShotFeaturizer:
+    """Builds :class:`PlanGraph` objects from physical plans."""
+
+    def __init__(self, cardinality_source: CardinalitySource =
+                 CardinalitySource.ESTIMATED):
+        self.cardinality_source = cardinality_source
+
+    # ------------------------------------------------------------------
+    def featurize(self, plan: PhysicalPlan, database: Database,
+                  target_runtime_seconds: float | None = None) -> PlanGraph:
+        """Encode a plan (optionally with its runtime label)."""
+        if database.name != plan.database_name:
+            raise FeaturizationError(
+                f"plan was built for {plan.database_name!r}, "
+                f"featurizer got database {database.name!r}"
+            )
+        graph = PlanGraph()
+        column_cache: dict[str, int] = {}
+        graph.root = self._encode_operator(plan.root, plan, database, graph,
+                                           column_cache)
+        if target_runtime_seconds is not None:
+            if target_runtime_seconds <= 0:
+                raise FeaturizationError(
+                    f"runtime label must be positive, got {target_runtime_seconds}"
+                )
+            graph.target_log_runtime = math.log(target_runtime_seconds)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Node encoders
+    # ------------------------------------------------------------------
+    def _rows(self, node: PlanNode) -> float:
+        return node.rows(self.cardinality_source is CardinalitySource.ACTUAL)
+
+    def _encode_operator(self, node: PlanNode, plan: PhysicalPlan,
+                         database: Database, graph: PlanGraph,
+                         column_cache: dict[str, int]) -> int:
+        features = np.zeros(FEATURE_DIMS["plan_op"])
+        features[_OPERATOR_INDEX[node.operator_name]] = 1.0
+        is_inl = isinstance(node, NestedLoopJoin) and node.is_index_nested_loop
+        features[len(_OPERATOR_KINDS)] = 1.0 if is_inl else 0.0
+        features[len(_OPERATOR_KINDS) + 1] = _log(self._rows(node))
+        features[len(_OPERATOR_KINDS) + 2] = _log(node.est_width)
+        op_id = graph.add_node("plan_op", features)
+
+        for child in node.children:
+            child_id = self._encode_operator(child, plan, database, graph,
+                                             column_cache)
+            graph.add_edge(child_id, op_id)
+
+        if isinstance(node, SeqScan):
+            self._attach_table(node.table.table_name, database, graph, op_id)
+            for predicate in node.filters:
+                self._attach_predicate(predicate, plan, database, graph,
+                                       op_id, column_cache)
+        elif isinstance(node, IndexScan):
+            self._attach_table(node.table.table_name, database, graph, op_id)
+            self._attach_index(node, database, graph, op_id)
+            for predicate in node.index_predicates + node.residual_filters:
+                self._attach_predicate(predicate, plan, database, graph,
+                                       op_id, column_cache)
+            if node.lookup_column is not None:
+                indexed = ColumnRef(node.table.name, node.index_column)
+                column_id = self._attach_column(indexed, plan, database,
+                                                graph, column_cache)
+                graph.add_edge(column_id, op_id)
+        elif isinstance(node, (HashJoin, MergeJoin, NestedLoopJoin)):
+            for side in (node.condition.left, node.condition.right):
+                column_id = self._attach_column(side, plan, database, graph,
+                                                column_cache)
+                graph.add_edge(column_id, op_id)
+        elif isinstance(node, Sort):
+            column_id = self._attach_column(node.key, plan, database, graph,
+                                            column_cache)
+            graph.add_edge(column_id, op_id)
+        elif isinstance(node, (HashAggregate, PlainAggregate)):
+            for aggregate in node.aggregates:
+                agg_features = np.zeros(FEATURE_DIMS["aggregate"])
+                agg_features[_AGGREGATE_INDEX[aggregate.function]] = 1.0
+                agg_features[-1] = 0.0 if aggregate.column is None else 1.0
+                agg_id = graph.add_node("aggregate", agg_features)
+                if aggregate.column is not None:
+                    column_id = self._attach_column(aggregate.column, plan,
+                                                    database, graph,
+                                                    column_cache)
+                    graph.add_edge(column_id, agg_id)
+                graph.add_edge(agg_id, op_id)
+            if isinstance(node, HashAggregate):
+                for column in node.group_by:
+                    column_id = self._attach_column(column, plan, database,
+                                                    graph, column_cache)
+                    graph.add_edge(column_id, op_id)
+        return op_id
+
+    def _attach_table(self, table_name: str, database: Database,
+                      graph: PlanGraph, parent: int) -> None:
+        data = database.table_data(table_name)
+        features = np.array([
+            _log(data.num_rows),
+            _log(data.num_pages),
+            _log(data.table.tuple_width_bytes),
+        ])
+        table_id = graph.add_node("table", features)
+        graph.add_edge(table_id, parent)
+
+    def _attach_index(self, node: IndexScan, database: Database,
+                      graph: PlanGraph, parent: int) -> None:
+        index = database.indexes.get(node.index_name)
+        if index is None:
+            raise FeaturizationError(f"plan references unknown index "
+                                     f"{node.index_name!r}")
+        features = np.array([
+            _log(index.height),
+            _log(index.num_leaf_pages),
+            1.0 if index.unique else 0.0,
+        ])
+        index_id = graph.add_node("index", features)
+        graph.add_edge(index_id, parent)
+
+    def _attach_column(self, ref: ColumnRef, plan: PhysicalPlan,
+                       database: Database, graph: PlanGraph,
+                       column_cache: dict[str, int]) -> int:
+        key = str(ref)
+        if key in column_cache:
+            return column_cache[key]
+        table_name = plan.query.table_ref(ref.table).table_name
+        column = database.schema.table(table_name).column(ref.column)
+        stats = database.table_statistics(table_name).column(ref.column)
+        features = np.zeros(FEATURE_DIMS["column"])
+        features[_DATATYPE_INDEX[column.data_type]] = 1.0
+        offset = len(_DATATYPE_INDEX)
+        features[offset] = float(column.width_bytes)
+        features[offset + 1] = _log(stats.num_distinct)
+        features[offset + 2] = stats.null_fraction
+        column_id = graph.add_node("column", features)
+        column_cache[key] = column_id
+        return column_id
+
+    def _attach_predicate(self, predicate, plan: PhysicalPlan,
+                          database: Database, graph: PlanGraph, parent: int,
+                          column_cache: dict[str, int]) -> None:
+        features = np.zeros(FEATURE_DIMS["predicate"])
+        features[_COMPARISON_INDEX[predicate.operator]] = 1.0
+        if predicate.operator is ComparisonOperator.IN:
+            features[-1] = _log(len(predicate.value))
+        predicate_id = graph.add_node("predicate", features)
+        column_id = self._attach_column(predicate.column, plan, database,
+                                        graph, column_cache)
+        graph.add_edge(column_id, predicate_id)
+        graph.add_edge(predicate_id, parent)

@@ -1,0 +1,36 @@
+"""Flat (pooled) plan featurization — ablation baseline.
+
+Collapses the plan graph into one fixed-size vector by summing the
+per-type feature matrices (zero-padded to a common layout).  Used by the
+ablation benchmark to quantify how much the *graph structure* itself
+contributes beyond the transferable features (DESIGN.md experiment E7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.featurize.graph import FEATURE_DIMS, NODE_TYPES, PlanGraph
+
+__all__ = ["flat_plan_features", "FLAT_DIM"]
+
+#: Sum + mean + count per node type.
+FLAT_DIM = sum(2 * FEATURE_DIMS[t] + 1 for t in NODE_TYPES)
+
+
+def flat_plan_features(graph: PlanGraph) -> np.ndarray:
+    """Pool a plan graph into a single vector (structure discarded)."""
+    parts: list[np.ndarray] = []
+    for node_type in NODE_TYPES:
+        matrix = graph.feature_matrix(node_type)
+        count = len(matrix)
+        if count:
+            total = matrix.sum(axis=0)
+            mean = matrix.mean(axis=0)
+        else:
+            total = np.zeros(FEATURE_DIMS[node_type])
+            mean = np.zeros(FEATURE_DIMS[node_type])
+        parts.append(total)
+        parts.append(mean)
+        parts.append(np.array([float(count)]))
+    return np.concatenate(parts)

@@ -1,0 +1,65 @@
+"""Feature scaling fitted on training data and reused at inference.
+
+The zero-shot model ships its scalers with the weights so an unseen
+database is featurized identically to the training databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FeaturizationError
+
+__all__ = ["StandardScaler"]
+
+
+@dataclass
+class StandardScaler:
+    """Per-dimension standardization ``(x - mean) / std``.
+
+    Dimensions with (near-)zero variance are passed through centred but
+    unscaled, so constant features (e.g. unused one-hot slots) do not
+    explode.
+    """
+
+    mean: np.ndarray | None = field(default=None)
+    std: np.ndarray | None = field(default=None)
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        if matrix.ndim != 2:
+            raise FeaturizationError(
+                f"scaler expects a 2-D matrix, got shape {matrix.shape}"
+            )
+        if len(matrix) == 0:
+            raise FeaturizationError("cannot fit a scaler on an empty matrix")
+        self.mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std < 1e-9] = 1.0
+        self.std = std
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean is not None
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise FeaturizationError("scaler used before fit()")
+        if matrix.shape[-1] != self.mean.shape[0]:
+            raise FeaturizationError(
+                f"feature dimension mismatch: scaler has {self.mean.shape[0]}, "
+                f"matrix has {matrix.shape[-1]}"
+            )
+        return (matrix - self.mean) / self.std
+
+    def to_dict(self) -> dict:
+        if not self.is_fitted:
+            raise FeaturizationError("cannot serialize an unfitted scaler")
+        return {"mean": self.mean.tolist(), "std": self.std.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StandardScaler":
+        return cls(mean=np.asarray(payload["mean"], dtype=np.float64),
+                   std=np.asarray(payload["std"], dtype=np.float64))

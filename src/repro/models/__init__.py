@@ -1,0 +1,38 @@
+"""Cost models: the zero-shot model and the paper's baselines.
+
+* :class:`~repro.models.zero_shot.ZeroShotCostModel` — the paper's
+  contribution: per-node-type encoders + bottom-up DAG message passing +
+  MLP readout over the transferable graph encoding.
+* :class:`~repro.models.mscn.MSCNCostModel` — set-based workload-driven
+  baseline (Kipf et al.).
+* :class:`~repro.models.e2e.E2ECostModel` — plan-tree workload-driven
+  baseline (Sun & Li).
+* :class:`~repro.models.optimizer_cost.ScaledOptimizerCost` — linear
+  rescaling of the classical optimizer cost.
+* :mod:`~repro.models.fewshot` — fine-tuning a zero-shot model on a few
+  queries of the unseen database.
+"""
+
+from repro.models.e2e import E2ECostModel
+from repro.models.fewshot import fine_tune
+from repro.models.flat import FlatVectorCostModel
+from repro.models.metrics import QErrorStats, q_error, q_error_stats
+from repro.models.mscn import MSCNCostModel
+from repro.models.optimizer_cost import ScaledOptimizerCost
+from repro.models.trainer import TrainerConfig, TrainingHistory
+from repro.models.zero_shot import ZeroShotConfig, ZeroShotCostModel
+
+__all__ = [
+    "E2ECostModel",
+    "FlatVectorCostModel",
+    "MSCNCostModel",
+    "QErrorStats",
+    "ScaledOptimizerCost",
+    "TrainerConfig",
+    "TrainingHistory",
+    "ZeroShotConfig",
+    "ZeroShotCostModel",
+    "fine_tune",
+    "q_error",
+    "q_error_stats",
+]

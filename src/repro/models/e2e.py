@@ -1,0 +1,141 @@
+"""E2E cost model (plan-structured tree network, Sun & Li VLDB'19).
+
+Same tree-recursive shape as the zero-shot model — encoder, bottom-up
+combine, readout — but over the *database-specific* featurization of
+:mod:`repro.featurize.e2e` (one-hot columns, normalized literals), and
+with a single homogeneous node type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.featurize.e2e import E2EFeaturizer, E2ETreeSample
+from repro.models.trainer import TrainerConfig, TrainingHistory, train_model
+from repro.nn import MLP, Module, Tensor, no_grad
+
+__all__ = ["E2EConfig", "E2ENet", "E2ECostModel"]
+
+
+@dataclass(frozen=True)
+class E2EConfig:
+    hidden_dim: int = 64
+    encoder_hidden: tuple[int, ...] = (64,)
+    combine_hidden: tuple[int, ...] = (64,)
+    readout_hidden: tuple[int, ...] = (64,)
+    activation: str = "leaky_relu"
+    seed: int = 0
+
+
+@dataclass
+class _TreeBatch:
+    num_nodes: int
+    features: np.ndarray
+    levels: list[tuple[np.ndarray, np.ndarray, np.ndarray]]
+    roots: np.ndarray
+
+
+def _batch_trees(samples: list[E2ETreeSample]) -> _TreeBatch:
+    offsets = np.cumsum([0] + [s.num_nodes for s in samples])
+    features = np.concatenate([s.features for s in samples], axis=0)
+    level_of = np.concatenate([np.asarray(s.levels()) for s in samples])
+    edges_child = []
+    edges_parent = []
+    roots = []
+    for sample, offset in zip(samples, offsets[:-1]):
+        for child, parent in sample.edges:
+            edges_child.append(child + offset)
+            edges_parent.append(parent + offset)
+        roots.append(sample.root + offset)
+    edges_child = np.asarray(edges_child, dtype=np.int64)
+    edges_parent = np.asarray(edges_parent, dtype=np.int64)
+
+    levels = []
+    max_level = int(level_of.max()) if len(level_of) else 0
+    parent_levels = level_of[edges_parent] if len(edges_parent) else \
+        np.zeros(0, dtype=np.int64)
+    for level in range(1, max_level + 1):
+        parent_ids = np.flatnonzero(level_of == level)
+        if not len(parent_ids):
+            continue
+        slot_of = {int(p): i for i, p in enumerate(parent_ids)}
+        mask = parent_levels == level
+        child_ids = edges_child[mask]
+        parent_slots = np.asarray([slot_of[int(p)] for p in edges_parent[mask]],
+                                  dtype=np.int64)
+        levels.append((parent_ids, child_ids, parent_slots))
+    return _TreeBatch(num_nodes=int(offsets[-1]), features=features,
+                      levels=levels, roots=np.asarray(roots, dtype=np.int64))
+
+
+class E2ENet(Module):
+    def __init__(self, node_dim: int, config: E2EConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden_dim
+        self.encoder = MLP(node_dim, list(config.encoder_hidden), hidden, rng,
+                           activation=config.activation)
+        self.combine = MLP(2 * hidden, list(config.combine_hidden), hidden,
+                           rng, activation=config.activation)
+        self.readout = MLP(hidden, list(config.readout_hidden), 1, rng,
+                           activation=config.activation)
+
+    def forward(self, samples: list[E2ETreeSample]) -> Tensor:
+        batch = _batch_trees(samples)
+        hidden = self.encoder(Tensor(batch.features))
+        for parent_ids, child_ids, parent_slots in batch.levels:
+            child_sum = hidden.index_select(child_ids).scatter_add(
+                parent_slots, len(parent_ids)
+            )
+            parent_hidden = hidden.index_select(parent_ids)
+            combined = self.combine(
+                Tensor.concat([parent_hidden, child_sum], axis=1)
+            )
+            delta = combined - parent_hidden
+            hidden = hidden + delta.scatter_add(parent_ids, batch.num_nodes)
+        return self.readout(hidden.index_select(batch.roots)).reshape(-1)
+
+
+class E2ECostModel:
+    """Wrapper pairing the tree net with its per-database featurizer."""
+
+    def __init__(self, featurizer: E2EFeaturizer,
+                 config: E2EConfig | None = None):
+        if not featurizer.is_fitted:
+            raise ModelError("E2E featurizer must be fitted before "
+                             "constructing the model")
+        self.featurizer = featurizer
+        self.config = config or E2EConfig()
+        self.net = E2ENet(featurizer.node_dim, self.config)
+        self.history: TrainingHistory | None = None
+        self.target_mean = 0.0
+        self.target_std = 1.0
+
+    def fit(self, samples: list[E2ETreeSample],
+            trainer: TrainerConfig | None = None) -> TrainingHistory:
+        if any(s.target_log_runtime is None for s in samples):
+            raise ModelError("all E2E training samples need labels")
+        trainer = trainer or TrainerConfig()
+        raw = np.asarray([s.target_log_runtime for s in samples])
+        self.target_mean = float(raw.mean())
+        self.target_std = float(max(raw.std(), 1e-6))
+
+        def targets(batch: list[E2ETreeSample]) -> Tensor:
+            values = np.asarray([s.target_log_runtime for s in batch])
+            return Tensor((values - self.target_mean) / self.target_std)
+
+        self.history = train_model(self.net, samples, self.net.forward,
+                                   targets, trainer)
+        return self.history
+
+    def predict_runtime(self, samples: list[E2ETreeSample]) -> np.ndarray:
+        if not samples:
+            return np.zeros(0)
+        self.net.eval()
+        with no_grad():
+            normalized = self.net(samples).numpy().copy()
+        return np.exp(normalized * self.target_std + self.target_mean)

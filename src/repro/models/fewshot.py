@@ -1,0 +1,53 @@
+"""Few-shot learning: fine-tune a zero-shot model on the unseen database.
+
+The paper (Sections 1 and 4.3): instead of using the zero-shot model
+out-of-the-box, retrain it with a *few* queries from the target
+database.  Because system behaviour is already internalized, far fewer
+queries are needed than for workload-driven training from scratch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.featurize.graph import PlanGraph
+from repro.models.trainer import TrainerConfig, train_model
+from repro.models.zero_shot import ZeroShotCostModel
+from repro.nn import Tensor
+
+import numpy as np
+
+__all__ = ["fine_tune"]
+
+
+def fine_tune(model: ZeroShotCostModel, graphs: list[PlanGraph],
+              trainer: TrainerConfig | None = None) -> ZeroShotCostModel:
+    """Return a fine-tuned *copy* of ``model`` (the original is untouched).
+
+    ``graphs`` are labelled plans from the target database.  The copy
+    keeps the zero-shot model's feature scalers (fitted on the training
+    fleet) so features stay on the scale the weights expect.
+    """
+    if not model.is_fitted:
+        raise ModelError("fine_tune requires a fitted zero-shot model")
+    if not graphs:
+        raise ModelError("fine_tune needs at least one labelled graph")
+    if any(g.target_log_runtime is None for g in graphs):
+        raise ModelError("all fine-tuning graphs need runtime labels")
+
+    tuned = model.clone()
+    trainer = trainer or TrainerConfig(
+        epochs=30, learning_rate=2e-4, batch_size=min(16, len(graphs)),
+        validation_fraction=0.0, early_stopping_patience=30,
+    )
+
+    from repro.featurize.batch import batch_graphs
+
+    def forward(batch_items: list[PlanGraph]) -> Tensor:
+        return tuned.net(batch_graphs(batch_items, tuned.scalers))
+
+    def targets(batch_items: list[PlanGraph]) -> Tensor:
+        raw = np.asarray([g.target_log_runtime for g in batch_items])
+        return Tensor((raw - tuned.target_mean) / tuned.target_std)
+
+    tuned.history = train_model(tuned.net, graphs, forward, targets, trainer)
+    return tuned

@@ -1,0 +1,74 @@
+"""Flat-vector ablation model.
+
+Uses the transferable features but *discards the graph structure*
+(:func:`repro.featurize.plan_features.flat_plan_features`), isolating
+the contribution of message passing in the ablation benchmark (E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.featurize.graph import PlanGraph
+from repro.featurize.plan_features import FLAT_DIM, flat_plan_features
+from repro.featurize.scalers import StandardScaler
+from repro.models.trainer import TrainerConfig, TrainingHistory, train_model
+from repro.nn import MLP, Tensor, no_grad
+
+__all__ = ["FlatVectorCostModel"]
+
+
+@dataclass
+class _FlatSample:
+    vector: np.ndarray
+    target_log_runtime: float
+
+
+class FlatVectorCostModel:
+    """MLP on pooled plan features (no structure)."""
+
+    def __init__(self, hidden: tuple[int, ...] = (128, 64), seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.net = MLP(FLAT_DIM, list(hidden), 1, rng)
+        self.scaler: StandardScaler | None = None
+        self.history: TrainingHistory | None = None
+
+    def _vectorize(self, graphs: list[PlanGraph]) -> np.ndarray:
+        return np.stack([flat_plan_features(g) for g in graphs])
+
+    def fit(self, graphs: list[PlanGraph],
+            trainer: TrainerConfig | None = None) -> TrainingHistory:
+        if not graphs:
+            raise ModelError("cannot fit on zero graphs")
+        if any(g.target_log_runtime is None for g in graphs):
+            raise ModelError("all training graphs need labels")
+        matrix = self._vectorize(graphs)
+        self.scaler = StandardScaler().fit(matrix)
+        samples = [
+            _FlatSample(vector=row, target_log_runtime=g.target_log_runtime)
+            for row, g in zip(self.scaler.transform(matrix), graphs)
+        ]
+
+        def forward(batch: list[_FlatSample]) -> Tensor:
+            return self.net(Tensor(np.stack([s.vector for s in batch]))) \
+                .reshape(-1)
+
+        def targets(batch: list[_FlatSample]) -> Tensor:
+            return Tensor(np.asarray([s.target_log_runtime for s in batch]))
+
+        self.history = train_model(self.net, samples, forward, targets,
+                                   trainer or TrainerConfig())
+        return self.history
+
+    def predict_runtime(self, graphs: list[PlanGraph]) -> np.ndarray:
+        if self.scaler is None:
+            raise ModelError("model used before fit()")
+        if not graphs:
+            return np.zeros(0)
+        matrix = self.scaler.transform(self._vectorize(graphs))
+        self.net.eval()
+        with no_grad():
+            return np.exp(self.net(Tensor(matrix)).reshape(-1).numpy().copy())

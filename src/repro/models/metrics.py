@@ -1,0 +1,63 @@
+"""Evaluation metrics.
+
+The paper reports the **Q-error**: the factor by which a predicted
+runtime deviates from the true runtime,
+``max(pred / true, true / pred) >= 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["q_error", "q_error_stats", "QErrorStats"]
+
+
+def q_error(predicted: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Element-wise Q-error of two positive arrays."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ModelError(
+            f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}"
+        )
+    if (predicted <= 0).any() or (actual <= 0).any():
+        raise ModelError("q_error requires strictly positive runtimes")
+    ratio = predicted / actual
+    return np.maximum(ratio, 1.0 / ratio)
+
+
+@dataclass(frozen=True)
+class QErrorStats:
+    """Summary statistics of a Q-error distribution (as in Table 1)."""
+
+    median: float
+    percentile95: float
+    maximum: float
+    mean: float
+    count: int
+
+    def row(self) -> tuple[float, float, float]:
+        """(median, 95th, max) — the paper's Table 1 columns."""
+        return (self.median, self.percentile95, self.maximum)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"median={self.median:.2f} 95th={self.percentile95:.2f} "
+                f"max={self.maximum:.2f} (n={self.count})")
+
+
+def q_error_stats(predicted: np.ndarray, actual: np.ndarray) -> QErrorStats:
+    """Q-error summary of predictions against ground truth."""
+    errors = q_error(predicted, actual)
+    if len(errors) == 0:
+        raise ModelError("cannot summarize an empty evaluation set")
+    return QErrorStats(
+        median=float(np.median(errors)),
+        percentile95=float(np.percentile(errors, 95)),
+        maximum=float(errors.max()),
+        mean=float(errors.mean()),
+        count=len(errors),
+    )

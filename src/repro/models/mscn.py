@@ -1,0 +1,113 @@
+"""MSCN cost model (set-based multi-set convolutional network).
+
+Three per-set MLPs (tables, joins, predicates) followed by average
+pooling, concatenation and a final MLP.  Featurization is one-hot per
+database (see :mod:`repro.featurize.mscn`), so the model is
+workload-driven: it must be trained on the target database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.featurize.mscn import MSCNFeaturizer, MSCNSample
+from repro.models.trainer import TrainerConfig, TrainingHistory, train_model
+from repro.nn import MLP, Module, Tensor, no_grad
+
+__all__ = ["MSCNConfig", "MSCNNet", "MSCNCostModel"]
+
+
+@dataclass(frozen=True)
+class MSCNConfig:
+    hidden_dim: int = 64
+    set_hidden: tuple[int, ...] = (64,)
+    final_hidden: tuple[int, ...] = (64,)
+    activation: str = "relu"
+    seed: int = 0
+
+
+class MSCNNet(Module):
+    """Set encoders + mean pooling + output MLP."""
+
+    def __init__(self, table_dim: int, join_dim: int, predicate_dim: int,
+                 config: MSCNConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden_dim
+        self.table_mlp = MLP(table_dim, list(config.set_hidden), hidden, rng,
+                             activation=config.activation)
+        self.join_mlp = MLP(join_dim, list(config.set_hidden), hidden, rng,
+                            activation=config.activation)
+        self.predicate_mlp = MLP(predicate_dim, list(config.set_hidden),
+                                 hidden, rng, activation=config.activation)
+        self.output = MLP(3 * hidden, list(config.final_hidden), 1, rng,
+                          activation=config.activation)
+
+    @staticmethod
+    def _pool(encoded: Tensor, sample_ids: np.ndarray,
+              counts: np.ndarray) -> Tensor:
+        summed = encoded.scatter_add(sample_ids, len(counts))
+        return summed * Tensor((1.0 / np.maximum(counts, 1.0))[:, None])
+
+    def forward(self, samples: list[MSCNSample]) -> Tensor:
+        """Predicted log-runtimes for a batch of samples."""
+        pooled = []
+        for attribute, mlp in (
+            ("table_features", self.table_mlp),
+            ("join_features", self.join_mlp),
+            ("predicate_features", self.predicate_mlp),
+        ):
+            matrices = [getattr(s, attribute) for s in samples]
+            counts = np.asarray([len(m) for m in matrices], dtype=np.float64)
+            stacked = np.concatenate(matrices, axis=0)
+            sample_ids = np.repeat(np.arange(len(samples)),
+                                   counts.astype(np.int64))
+            encoded = mlp(Tensor(stacked))
+            pooled.append(self._pool(encoded, sample_ids, counts))
+        return self.output(Tensor.concat(pooled, axis=1)).reshape(-1)
+
+
+class MSCNCostModel:
+    """Wrapper pairing the net with its per-database featurizer."""
+
+    def __init__(self, featurizer: MSCNFeaturizer,
+                 config: MSCNConfig | None = None):
+        if featurizer.vocabulary.is_empty:
+            raise ModelError("MSCN featurizer must be fitted before "
+                             "constructing the model")
+        self.featurizer = featurizer
+        self.config = config or MSCNConfig()
+        self.net = MSCNNet(featurizer.table_dim, featurizer.join_dim,
+                           featurizer.predicate_dim, self.config)
+        self.history: TrainingHistory | None = None
+        self.target_mean = 0.0
+        self.target_std = 1.0
+
+    def fit(self, samples: list[MSCNSample],
+            trainer: TrainerConfig | None = None) -> TrainingHistory:
+        if any(s.target_log_runtime is None for s in samples):
+            raise ModelError("all MSCN training samples need labels")
+        trainer = trainer or TrainerConfig()
+        raw = np.asarray([s.target_log_runtime for s in samples])
+        self.target_mean = float(raw.mean())
+        self.target_std = float(max(raw.std(), 1e-6))
+
+        def targets(batch: list[MSCNSample]) -> Tensor:
+            values = np.asarray([s.target_log_runtime for s in batch])
+            return Tensor((values - self.target_mean) / self.target_std)
+
+        self.history = train_model(self.net, samples, self.net.forward,
+                                   targets, trainer)
+        return self.history
+
+    def predict_runtime(self, samples: list[MSCNSample]) -> np.ndarray:
+        if not samples:
+            return np.zeros(0)
+        self.net.eval()
+        with no_grad():
+            normalized = self.net(samples).numpy().copy()
+        return np.exp(normalized * self.target_std + self.target_mean)

@@ -1,0 +1,51 @@
+"""Scaled-Optimizer-Cost baseline.
+
+A linear model mapping the classical optimizer's cost units to runtimes
+(the paper's "simple linear model that obtains actual runtimes from the
+internal cost metric of the Postgres optimizer").  Fit by least squares
+on (cost, runtime) pairs from the training workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["ScaledOptimizerCost"]
+
+_MIN_RUNTIME_S = 1e-5
+
+
+class ScaledOptimizerCost:
+    """``runtime ≈ slope * cost + intercept`` (clipped to positive)."""
+
+    def __init__(self):
+        self.slope: float | None = None
+        self.intercept: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.slope is not None
+
+    def fit(self, costs: np.ndarray, runtimes: np.ndarray) -> "ScaledOptimizerCost":
+        costs = np.asarray(costs, dtype=np.float64)
+        runtimes = np.asarray(runtimes, dtype=np.float64)
+        if costs.shape != runtimes.shape or costs.ndim != 1:
+            raise ModelError("fit expects two equally sized 1-D arrays")
+        if len(costs) < 2:
+            raise ModelError("need at least two (cost, runtime) pairs")
+        if (runtimes <= 0).any():
+            raise ModelError("runtimes must be positive")
+        design = np.stack([costs, np.ones_like(costs)], axis=1)
+        solution, *_ = np.linalg.lstsq(design, runtimes, rcond=None)
+        self.slope = float(solution[0])
+        self.intercept = float(solution[1])
+        return self
+
+    def predict_runtime(self, costs: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise ModelError("model used before fit()")
+        costs = np.asarray(costs, dtype=np.float64)
+        predictions = self.slope * costs + self.intercept
+        return np.maximum(predictions, _MIN_RUNTIME_S)

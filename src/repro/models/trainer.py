@@ -1,0 +1,150 @@
+"""Generic training loop shared by all learned cost models.
+
+Models supply two closures:
+
+* ``forward(batch_items) -> Tensor`` — predictions (log-runtimes),
+* ``targets(batch_items) -> Tensor`` — labels (log-runtimes),
+
+and the trainer handles shuffling, mini-batching, optimization, gradient
+clipping, validation and early stopping.  Losses operate on
+log-runtimes; the absolute-log-difference ("q") loss directly optimizes
+the median Q-error the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn import Adam, BatchIterator, Tensor, clip_grad_norm, train_validation_split
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+__all__ = ["TrainerConfig", "TrainingHistory", "train_model"]
+
+_LOSSES = {
+    "q": F.q_loss,
+    "mse": F.mse_loss,
+    "huber": F.huber_loss,
+}
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 60
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-5
+    clip_norm: float = 5.0
+    validation_fraction: float = 0.15
+    early_stopping_patience: int = 12
+    loss: str = "q"
+    lr_schedule: str = "constant"   # "constant" | "cosine" | "step"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.loss not in _LOSSES:
+            raise ModelError(f"unknown loss {self.loss!r}; "
+                             f"choose from {sorted(_LOSSES)}")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ModelError("epochs and batch_size must be positive")
+        if self.lr_schedule not in ("constant", "cosine", "step"):
+            raise ModelError(f"unknown lr_schedule {self.lr_schedule!r}")
+
+    def make_schedule(self):
+        """Instantiate the configured learning-rate schedule."""
+        from repro.nn.schedules import (
+            ConstantSchedule,
+            CosineSchedule,
+            StepSchedule,
+        )
+        if self.lr_schedule == "cosine":
+            return CosineSchedule(self.learning_rate, self.epochs,
+                                  lr_min=self.learning_rate * 0.05)
+        if self.lr_schedule == "step":
+            return StepSchedule(self.learning_rate,
+                                step_size=max(self.epochs // 3, 1))
+        return ConstantSchedule(self.learning_rate)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch losses and the selected model epoch."""
+
+    train_losses: list[float] = field(default_factory=list)
+    validation_losses: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_validation_loss: float = float("inf")
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_losses)
+
+
+def train_model(model: Module, samples: Sequence,
+                forward: Callable[[list], Tensor],
+                targets: Callable[[list], Tensor],
+                config: TrainerConfig) -> TrainingHistory:
+    """Train ``model`` on ``samples``; restores the best-validation weights."""
+    if not samples:
+        raise ModelError("cannot train on an empty sample list")
+    rng = np.random.default_rng(config.seed)
+    loss_fn = _LOSSES[config.loss]
+
+    if config.validation_fraction > 0 and len(samples) >= 5:
+        train_set, validation_set = train_validation_split(
+            list(samples), config.validation_fraction, rng
+        )
+    else:
+        train_set, validation_set = list(samples), []
+
+    optimizer = Adam(model.parameters(), lr=config.learning_rate,
+                     weight_decay=config.weight_decay)
+    schedule = config.make_schedule()
+    history = TrainingHistory()
+    best_state = model.state_dict()
+    patience_left = config.early_stopping_patience
+
+    for epoch in range(config.epochs):
+        optimizer.lr = schedule(epoch)
+        model.train()
+        iterator = BatchIterator(train_set, config.batch_size, rng=rng)
+        epoch_losses = []
+        for batch in iterator:
+            optimizer.zero_grad()
+            predictions = forward(batch)
+            labels = targets(batch)
+            loss = loss_fn(predictions, labels)
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.clip_norm)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history.train_losses.append(float(np.mean(epoch_losses)))
+
+        if validation_set:
+            model.eval()
+            predictions = forward(validation_set)
+            labels = targets(validation_set)
+            validation_loss = loss_fn(predictions, labels).item()
+        else:
+            validation_loss = history.train_losses[-1]
+        history.validation_losses.append(validation_loss)
+
+        if validation_loss < history.best_validation_loss - 1e-6:
+            history.best_validation_loss = validation_loss
+            history.best_epoch = epoch
+            best_state = model.state_dict()
+            patience_left = config.early_stopping_patience
+        else:
+            patience_left -= 1
+            if patience_left <= 0:
+                break
+
+    model.load_state_dict(best_state)
+    model.eval()
+    return history

@@ -1,0 +1,226 @@
+"""The zero-shot cost model (the paper's core contribution, Section 3.1).
+
+Architecture, following the paper:
+
+1. **Node encoders** — one MLP per node type maps the transferable
+   features to a fixed-size hidden vector (the initial hidden states).
+2. **Bottom-up message passing** — the DAG is traversed bottom-up; at
+   each node the children's hidden states are *summed* (DeepSets) and
+   combined with the node's own hidden state by a per-type MLP.
+3. **Readout** — the root's hidden state is fed into an MLP that
+   predicts the (log) runtime.
+
+Because every feature is transferable, a model trained on a fleet of
+databases predicts runtimes for a database it has never seen.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.featurize.batch import GraphBatch, batch_graphs, fit_scalers
+from repro.featurize.graph import FEATURE_DIMS, NODE_TYPES, PlanGraph
+from repro.featurize.scalers import StandardScaler
+from repro.nn import MLP, Module, Tensor, no_grad
+from repro.nn.serialize import load_state, save_state
+from repro.models.trainer import TrainerConfig, TrainingHistory, train_model
+
+__all__ = ["ZeroShotConfig", "ZeroShotNet", "ZeroShotCostModel"]
+
+
+@dataclass(frozen=True)
+class ZeroShotConfig:
+    """Architecture hyper-parameters."""
+
+    hidden_dim: int = 64
+    encoder_hidden: tuple[int, ...] = (64,)
+    combine_hidden: tuple[int, ...] = (64,)
+    readout_hidden: tuple[int, ...] = (64, 32)
+    dropout: float = 0.0
+    activation: str = "leaky_relu"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.hidden_dim <= 0:
+            raise ModelError("hidden_dim must be positive")
+
+
+class ZeroShotNet(Module):
+    """The neural network: encoders + message passing + readout."""
+
+    def __init__(self, config: ZeroShotConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        for node_type in NODE_TYPES:
+            self.register_module(
+                f"encode_{node_type}",
+                MLP(FEATURE_DIMS[node_type], list(config.encoder_hidden),
+                    config.hidden_dim, rng, activation=config.activation,
+                    dropout=config.dropout),
+            )
+            self.register_module(
+                f"combine_{node_type}",
+                MLP(2 * config.hidden_dim, list(config.combine_hidden),
+                    config.hidden_dim, rng, activation=config.activation,
+                    dropout=config.dropout),
+            )
+        self.readout = MLP(config.hidden_dim, list(config.readout_hidden), 1,
+                           rng, activation=config.activation,
+                           dropout=config.dropout)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        """Predicted log-runtimes, one per graph in the batch."""
+        hidden_dim = self.config.hidden_dim
+
+        # 1. Initial hidden states, scattered into one [N, hidden] matrix.
+        hidden = Tensor(np.zeros((batch.num_nodes, hidden_dim)))
+        for node_type in NODE_TYPES:
+            features = batch.features[node_type]
+            if len(features) == 0:
+                continue
+            encoder = self._modules[f"encode_{node_type}"]
+            encoded = encoder(Tensor(features))
+            hidden = hidden + encoded.scatter_add(
+                batch.type_positions[node_type], batch.num_nodes
+            )
+
+        # 2. Level-by-level bottom-up combine.
+        for level in batch.levels:
+            num_parents = len(level.parent_ids)
+            child_hidden = hidden.index_select(level.edge_child_ids)
+            child_sum = child_hidden.scatter_add(level.edge_parent_slots,
+                                                 num_parents)
+            parent_hidden = hidden.index_select(level.parent_ids)
+            combined = Tensor(np.zeros((num_parents, hidden_dim)))
+            for node_type, slots in level.type_slots.items():
+                combine = self._modules[f"combine_{node_type}"]
+                stacked = Tensor.concat(
+                    [parent_hidden.index_select(slots),
+                     child_sum.index_select(slots)], axis=1
+                )
+                combined = combined + combine(stacked).scatter_add(
+                    slots, num_parents
+                )
+            delta = combined - parent_hidden
+            hidden = hidden + delta.scatter_add(level.parent_ids,
+                                                batch.num_nodes)
+
+        # 3. Readout from the root nodes.
+        roots = hidden.index_select(batch.roots)
+        return self.readout(roots).reshape(-1)
+
+
+class ZeroShotCostModel:
+    """User-facing wrapper: scaling + training + prediction + persistence.
+
+    The model consumes :class:`~repro.featurize.graph.PlanGraph` objects
+    (raw features); feature scalers are fitted on the training corpus and
+    shipped with the weights, so unseen databases are encoded identically.
+    """
+
+    def __init__(self, config: ZeroShotConfig | None = None):
+        self.config = config or ZeroShotConfig()
+        self.net = ZeroShotNet(self.config)
+        self.scalers: dict[str, StandardScaler] | None = None
+        self.history: TrainingHistory | None = None
+        #: Log-runtime targets are standardized for training; the
+        #: statistics are shipped with the model.
+        self.target_mean: float = 0.0
+        self.target_std: float = 1.0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self.scalers is not None
+
+    def fit(self, graphs: list[PlanGraph],
+            trainer: TrainerConfig | None = None) -> TrainingHistory:
+        """Train on labelled graphs (from *multiple* training databases)."""
+        if not graphs:
+            raise ModelError("zero-shot training needs at least one graph")
+        if any(g.target_log_runtime is None for g in graphs):
+            raise ModelError("all training graphs need runtime labels")
+        self.scalers = fit_scalers(graphs)
+        trainer = trainer or TrainerConfig()
+        all_targets = np.asarray([g.target_log_runtime for g in graphs])
+        self.target_mean = float(all_targets.mean())
+        self.target_std = float(max(all_targets.std(), 1e-6))
+
+        def forward(batch_items: list[PlanGraph]) -> Tensor:
+            batch = batch_graphs(batch_items, self.scalers)
+            return self.net(batch)
+
+        def targets(batch_items: list[PlanGraph]) -> Tensor:
+            raw = np.asarray([g.target_log_runtime for g in batch_items])
+            return Tensor((raw - self.target_mean) / self.target_std)
+
+        self.history = train_model(self.net, graphs, forward, targets, trainer)
+        return self.history
+
+    def predict_log_runtime(self, graphs: list[PlanGraph]) -> np.ndarray:
+        if not self.is_fitted:
+            raise ModelError("model must be fitted (or loaded) before predict")
+        if not graphs:
+            return np.zeros(0)
+        self.net.eval()
+        with no_grad():
+            batch = batch_graphs(graphs, self.scalers)
+            normalized = self.net(batch).numpy().copy()
+        return normalized * self.target_std + self.target_mean
+
+    def predict_runtime(self, graphs: list[PlanGraph]) -> np.ndarray:
+        """Predicted runtimes in seconds."""
+        return np.exp(self.predict_log_runtime(graphs))
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "ZeroShotCostModel":
+        """Deep copy (used by few-shot fine-tuning)."""
+        other = ZeroShotCostModel(self.config)
+        other.net.load_state_dict(self.net.state_dict())
+        other.target_mean = self.target_mean
+        other.target_std = self.target_std
+        if self.scalers is not None:
+            other.scalers = {
+                t: StandardScaler.from_dict(s.to_dict())
+                for t, s in self.scalers.items()
+            }
+        return other
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str | os.PathLike) -> None:
+        """Persist weights + scalers + config to a directory."""
+        if not self.is_fitted:
+            raise ModelError("cannot save an unfitted model")
+        os.makedirs(directory, exist_ok=True)
+        save_state(self.net, os.path.join(directory, "weights.npz"))
+        payload = {
+            "config": asdict(self.config),
+            "scalers": {t: s.to_dict() for t, s in self.scalers.items()},
+            "target_mean": self.target_mean,
+            "target_std": self.target_std,
+        }
+        with open(os.path.join(directory, "model.json"), "w") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "ZeroShotCostModel":
+        with open(os.path.join(directory, "model.json")) as handle:
+            payload = json.load(handle)
+        config_dict = dict(payload["config"])
+        for key in ("encoder_hidden", "combine_hidden", "readout_hidden"):
+            config_dict[key] = tuple(config_dict[key])
+        model = cls(ZeroShotConfig(**config_dict))
+        load_state(model.net, os.path.join(directory, "weights.npz"))
+        model.scalers = {
+            t: StandardScaler.from_dict(s)
+            for t, s in payload["scalers"].items()
+        }
+        model.target_mean = float(payload.get("target_mean", 0.0))
+        model.target_std = float(payload.get("target_std", 1.0))
+        return model

@@ -1,0 +1,71 @@
+"""Mini-batch iteration helpers.
+
+The models in this library operate on *lists of plan samples* rather than
+dense arrays, so the iterator works on arbitrary sequences and yields
+index batches (optionally shuffled).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["BatchIterator", "train_validation_split"]
+
+T = TypeVar("T")
+
+
+class BatchIterator:
+    """Yield batches of items from a sequence.
+
+    Parameters
+    ----------
+    items:
+        The dataset (any sequence).
+    batch_size:
+        Maximum number of items per batch (the final batch may be smaller).
+    rng:
+        If given, items are shuffled each epoch using this generator.
+    """
+
+    def __init__(self, items: Sequence[T], batch_size: int,
+                 rng: np.random.Generator | None = None):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.items = items
+        self.batch_size = batch_size
+        self.rng = rng
+
+    def __len__(self) -> int:
+        return (len(self.items) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[list[T]]:
+        order = np.arange(len(self.items))
+        if self.rng is not None:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            indices = order[start:start + self.batch_size]
+            yield [self.items[i] for i in indices]
+
+
+def train_validation_split(items: Sequence[T], validation_fraction: float,
+                           rng: np.random.Generator) -> tuple[list[T], list[T]]:
+    """Shuffle and split a dataset into train/validation parts.
+
+    The validation part gets ``ceil(len * fraction)`` items but always at
+    least one item if the fraction is positive and the dataset non-empty.
+    """
+    if not 0.0 <= validation_fraction < 1.0:
+        raise ValueError(
+            f"validation_fraction must be in [0, 1), got {validation_fraction}"
+        )
+    order = np.arange(len(items))
+    rng.shuffle(order)
+    if validation_fraction == 0.0 or not len(items):
+        return [items[i] for i in order], []
+    n_validation = max(1, int(np.ceil(len(items) * validation_fraction)))
+    n_validation = min(n_validation, len(items) - 1) if len(items) > 1 else 1
+    validation = [items[i] for i in order[:n_validation]]
+    train = [items[i] for i in order[n_validation:]]
+    return train, validation

@@ -1,0 +1,52 @@
+"""Learning-rate schedules.
+
+Schedules are plain callables ``epoch -> lr`` that the trainer applies to
+an optimizer before each epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ConstantSchedule", "StepSchedule", "CosineSchedule"]
+
+
+class ConstantSchedule:
+    """Always the same learning rate."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.lr = lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineSchedule:
+    """Cosine annealing from ``lr`` to ``lr_min`` over ``total_epochs``."""
+
+    def __init__(self, lr: float, total_epochs: int, lr_min: float = 0.0):
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        self.lr = lr
+        self.lr_min = lr_min
+        self.total_epochs = total_epochs
+
+    def __call__(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.lr_min + 0.5 * (self.lr - self.lr_min) * (1 + math.cos(math.pi * progress))

@@ -1,0 +1,36 @@
+"""Save / load model weights as ``.npz`` archives.
+
+Parameter names may contain characters that are awkward as npz keys
+(dots are fine), so names are stored verbatim. An extra ``__meta__``
+entry records a format version for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_state", "load_state"]
+
+_FORMAT_VERSION = 1
+
+
+def save_state(module: Module, path: str | os.PathLike) -> None:
+    """Write ``module.state_dict()`` to ``path`` as a compressed npz."""
+    state = module.state_dict()
+    payload = dict(state)
+    payload["__meta__"] = np.array([_FORMAT_VERSION])
+    np.savez_compressed(path, **payload)
+
+
+def load_state(module: Module, path: str | os.PathLike) -> None:
+    """Load weights saved by :func:`save_state` into ``module`` (in place)."""
+    with np.load(path) as archive:
+        meta = archive.get("__meta__")
+        if meta is None or int(meta[0]) != _FORMAT_VERSION:
+            raise ValueError(f"unsupported or missing format version in {path}")
+        state = {key: archive[key] for key in archive.files if key != "__meta__"}
+    module.load_state_dict(state)

@@ -1,0 +1,30 @@
+"""Cost-based query optimizer (the Postgres stand-in).
+
+Provides the three things the paper's pipeline takes from Postgres:
+
+* physical plans (DP join enumeration + operator selection),
+* *estimated* cardinalities per plan node (histogram statistics under
+  independence/uniformity assumptions — inexact on correlated data, as
+  in the real system),
+* the classical optimizer cost, which the Scaled-Optimizer-Cost baseline
+  regresses onto runtimes.
+
+What-if planning with hypothetical indexes (Section 4.1) lives in
+:mod:`repro.optimizer.whatif`.
+"""
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.planner import Planner, plan_query
+from repro.optimizer.selectivity import estimate_predicate_selectivity
+from repro.optimizer.whatif import WhatIfPlanner
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "CostParameters",
+    "Planner",
+    "WhatIfPlanner",
+    "estimate_predicate_selectivity",
+    "plan_query",
+]

@@ -1,0 +1,141 @@
+"""Zero-shot plan selection (paper Section 4.2, the "naïve approach").
+
+    *"An initial naïve approach for this could be to use the devised
+    zero-shot cost estimation model to evaluate candidate plans and thus
+    better guide the query optimizer to plans with low costs."*
+
+The classical optimizer's cost model mis-prices plans whenever its
+assumptions break (cache effects, spills, correlations).  This module
+generates a portfolio of candidate plans — the classical optimum plus
+the optima under restricted operator subsets, Bao-style — and lets a
+zero-shot model pick the plan with the lowest *predicted runtime*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import ModelError, OptimizerError
+from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.models.zero_shot import ZeroShotCostModel
+from repro.optimizer.planner import Planner, PlannerOptions
+from repro.plans.plan import PhysicalPlan
+from repro.sql.ast import Query
+
+__all__ = ["PlanChoice", "ZeroShotPlanSelector", "candidate_plans"]
+
+#: Operator-subset "arms", à la Bao's hint sets: each disables some
+#: strategies, steering the DP enumerator into a different plan family.
+_HINT_SETS: tuple[dict, ...] = (
+    {},                                                      # default
+    {"enable_nestloop": False},
+    {"enable_hashjoin": False},
+    {"enable_mergejoin": False, "enable_nestloop": False},
+    {"enable_hashjoin": False, "enable_mergejoin": False},
+    {"enable_indexscan": False},
+)
+
+
+def candidate_plans(database: Database, query: Query,
+                    base_options: PlannerOptions | None = None,
+                    max_cost_ratio: float = 3.0) -> list[PhysicalPlan]:
+    """Generate a de-duplicated portfolio of candidate plans.
+
+    Candidates whose classical cost exceeds ``max_cost_ratio`` times the
+    optimizer's best plan are discarded: the zero-shot model was trained
+    on executed (i.e. optimizer-chosen) plans and cannot be trusted to
+    price plan families it has never observed — the same guardrail Bao's
+    hint sets rely on.
+    """
+    base = base_options or PlannerOptions()
+    plans: list[PhysicalPlan] = []
+    seen: set[str] = set()
+    for hints in _HINT_SETS:
+        options = PlannerOptions(
+            enable_seqscan=base.enable_seqscan,
+            enable_indexscan=hints.get("enable_indexscan",
+                                       base.enable_indexscan),
+            enable_hashjoin=hints.get("enable_hashjoin", base.enable_hashjoin),
+            enable_mergejoin=hints.get("enable_mergejoin",
+                                       base.enable_mergejoin),
+            enable_nestloop=hints.get("enable_nestloop", base.enable_nestloop),
+            use_hypothetical_indexes=base.use_hypothetical_indexes,
+            cost_parameters=base.cost_parameters,
+        )
+        try:
+            plan = Planner(database, options).plan(query)
+        except OptimizerError:
+            continue  # this hint set admits no plan (e.g. scans disabled)
+        signature = _plan_signature(plan)
+        if signature not in seen:
+            seen.add(signature)
+            plans.append(plan)
+    if not plans:
+        raise OptimizerError("no candidate plan could be generated")
+    cost_ceiling = plans[0].total_cost * max_cost_ratio
+    bounded = [plans[0]] + [p for p in plans[1:] if p.total_cost <= cost_ceiling]
+    return bounded
+
+
+def _plan_signature(plan: PhysicalPlan) -> str:
+    """Structural fingerprint used to de-duplicate candidates."""
+    parts = []
+    for node in plan.nodes():
+        parts.append(node.label())
+    return "|".join(parts)
+
+
+@dataclass
+class PlanChoice:
+    """Outcome of one zero-shot plan selection."""
+
+    plan: PhysicalPlan
+    predicted_seconds: float
+    classical_plan: PhysicalPlan
+    num_candidates: int
+    predictions: list[float] = field(default_factory=list)
+
+    @property
+    def agrees_with_classical(self) -> bool:
+        return _plan_signature(self.plan) == _plan_signature(self.classical_plan)
+
+
+class ZeroShotPlanSelector:
+    """Picks the candidate plan with the lowest predicted runtime."""
+
+    def __init__(self, database: Database, model: ZeroShotCostModel,
+                 options: PlannerOptions | None = None,
+                 switch_margin: float = 0.3):
+        if not model.is_fitted:
+            raise ModelError("plan selection needs a fitted zero-shot model")
+        if not 0.0 <= switch_margin < 1.0:
+            raise ModelError("switch_margin must be in [0, 1)")
+        self.database = database
+        self.model = model
+        self.options = options or PlannerOptions()
+        #: Only deviate from the classical plan when the predicted win
+        #: exceeds this relative margin — prediction error within the
+        #: margin should not flip plans.
+        self.switch_margin = switch_margin
+        self._featurizer = ZeroShotFeaturizer(CardinalitySource.ESTIMATED)
+
+    def choose(self, query: Query) -> PlanChoice:
+        """Return the plan the zero-shot model prefers for ``query``."""
+        candidates = candidate_plans(self.database, query, self.options)
+        graphs = [self._featurizer.featurize(plan, self.database)
+                  for plan in candidates]
+        predictions = self.model.predict_runtime(graphs)
+        best = int(np.argmin(predictions))
+        classical_prediction = predictions[0]  # hint set {} = classical plan
+        if predictions[best] >= classical_prediction * (1.0 - self.switch_margin):
+            best = 0  # predicted win too small to justify switching
+        return PlanChoice(
+            plan=candidates[best],
+            predicted_seconds=float(predictions[best]),
+            classical_plan=candidates[0],
+            num_candidates=len(candidates),
+            predictions=[float(p) for p in predictions],
+        )

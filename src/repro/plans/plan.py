@@ -1,0 +1,72 @@
+"""The :class:`PhysicalPlan` wrapper and traversal helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import PlanError
+from repro.plans.operators import PlanNode
+from repro.sql.ast import Query
+
+__all__ = ["PhysicalPlan", "walk_plan"]
+
+
+def walk_plan(root: PlanNode) -> Iterator[PlanNode]:
+    """Depth-first pre-order traversal of a plan tree."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+@dataclass
+class PhysicalPlan:
+    """A physical plan for a query on a specific database.
+
+    Attributes
+    ----------
+    root:
+        The plan's root operator (usually an aggregate).
+    query:
+        The originating query.
+    database_name:
+        Name of the database the plan was built for (plans are not
+        portable across databases: operators embed table references).
+    """
+
+    root: PlanNode
+    query: Query
+    database_name: str
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.root.validate()
+
+    def nodes(self) -> list[PlanNode]:
+        return list(walk_plan(self.root))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes())
+
+    @property
+    def total_cost(self) -> float:
+        """The optimizer's cumulative cost at the root."""
+        return self.root.est_cost
+
+    @property
+    def is_executed(self) -> bool:
+        return all(node.actual_rows is not None for node in self.nodes())
+
+    def require_executed(self) -> None:
+        if not self.is_executed:
+            raise PlanError(
+                "plan has not been executed; actual cardinalities are missing"
+            )
+
+    def reset_actuals(self) -> None:
+        """Clear executor annotations (for re-execution)."""
+        for node in self.nodes():
+            node.actual_rows = None

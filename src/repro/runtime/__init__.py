@@ -1,0 +1,17 @@
+"""Ground-truth runtime simulation.
+
+The paper measures real wall-clock runtimes on one Postgres server.  We
+replace the server with an analytic runtime model whose coefficients and
+functional form are *hidden from every featurization*: models only ever
+see plan structure, statistics and cardinalities, so learning the
+mapping to runtimes is a genuine estimation problem.
+
+Crucially there is **one** system (one parameterization) shared by all
+databases — the paper's premise that system behaviour transfers across
+databases while data characteristics vary.
+"""
+
+from repro.runtime.simulator import QueryRuntime, RuntimeSimulator
+from repro.runtime.system import SystemParameters
+
+__all__ = ["QueryRuntime", "RuntimeSimulator", "SystemParameters"]

@@ -1,0 +1,232 @@
+"""Query AST.
+
+The modelled query space matches the paper's workloads: acyclic
+equi-joins along foreign keys, conjunctions of single-column comparison
+predicates, and up to a few aggregates with optional GROUP BY.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = [
+    "ComparisonOperator",
+    "AggregateFunction",
+    "TableRef",
+    "ColumnRef",
+    "Predicate",
+    "JoinCondition",
+    "AggregateSpec",
+    "Query",
+]
+
+
+class ComparisonOperator(enum.Enum):
+    """Supported predicate comparison operators."""
+
+    EQ = "="
+    NEQ = "<>"
+    LT = "<"
+    LEQ = "<="
+    GT = ">"
+    GEQ = ">="
+    BETWEEN = "BETWEEN"
+    IN = "IN"
+
+    @property
+    def is_range(self) -> bool:
+        return self in (ComparisonOperator.LT, ComparisonOperator.LEQ,
+                        ComparisonOperator.GT, ComparisonOperator.GEQ,
+                        ComparisonOperator.BETWEEN)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AggregateFunction(enum.Enum):
+    """Supported aggregate functions."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause.  ``alias`` defaults to the table name."""
+
+    table_name: str
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.alias or self.table_name
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.alias and self.alias != self.table_name:
+            return f"{self.table_name} {self.alias}"
+        return self.table_name
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A qualified column reference ``table_alias.column``."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single-column comparison predicate.
+
+    ``value`` is a scalar for plain comparisons, a 2-tuple for BETWEEN,
+    and a tuple of scalars for IN.
+    """
+
+    column: ColumnRef
+    operator: ComparisonOperator
+    value: float | tuple
+
+    def __post_init__(self):
+        if self.operator is ComparisonOperator.BETWEEN:
+            if not (isinstance(self.value, tuple) and len(self.value) == 2):
+                raise QueryError(f"BETWEEN needs a (low, high) tuple, got {self.value!r}")
+            low, high = self.value
+            if low > high:
+                raise QueryError(f"BETWEEN bounds reversed: {self.value!r}")
+        elif self.operator is ComparisonOperator.IN:
+            if not (isinstance(self.value, tuple) and len(self.value) >= 1):
+                raise QueryError(f"IN needs a non-empty tuple, got {self.value!r}")
+        elif isinstance(self.value, tuple):
+            raise QueryError(
+                f"operator {self.operator} takes a scalar, got {self.value!r}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.operator is ComparisonOperator.BETWEEN:
+            return f"{self.column} BETWEEN {self.value[0]} AND {self.value[1]}"
+        if self.operator is ComparisonOperator.IN:
+            inner = ", ".join(str(v) for v in self.value)
+            return f"{self.column} IN ({inner})"
+        return f"{self.column} {self.operator.value} {self.value}"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join condition ``left = right``."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def references(self, table: str) -> bool:
+        return self.left.table == table or self.right.table == table
+
+    def other_side(self, table: str) -> ColumnRef:
+        if self.left.table == table:
+            return self.right
+        if self.right.table == table:
+            return self.left
+        raise QueryError(f"join condition {self} does not reference {table!r}")
+
+    def side_for(self, table: str) -> ColumnRef:
+        if self.left.table == table:
+            return self.left
+        if self.right.table == table:
+            return self.right
+        raise QueryError(f"join condition {self} does not reference {table!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in the SELECT list (column is None for COUNT(*))."""
+
+    function: AggregateFunction
+    column: ColumnRef | None = None
+
+    def __post_init__(self):
+        if self.function is not AggregateFunction.COUNT and self.column is None:
+            raise QueryError(f"{self.function} requires a column argument")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = "*" if self.column is None else str(self.column)
+        return f"{self.function.value}({inner})"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project-join-aggregate query.
+
+    Attributes
+    ----------
+    tables:
+        FROM-clause tables (aliases must be unique).
+    joins:
+        Equi-join conditions; the induced join graph must be connected
+        and acyclic (validated against a schema separately).
+    predicates:
+        Conjunctive single-column filters.
+    aggregates:
+        SELECT-list aggregates (empty means ``COUNT(*)`` semantics for
+        cardinality-style queries).
+    group_by:
+        Optional grouping columns.
+    """
+
+    tables: tuple[TableRef, ...]
+    joins: tuple[JoinCondition, ...] = ()
+    predicates: tuple[Predicate, ...] = ()
+    aggregates: tuple[AggregateSpec, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+
+    def __post_init__(self):
+        if not self.tables:
+            raise QueryError("a query needs at least one table")
+        names = [table.name for table in self.tables]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate table aliases in query: {names}")
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(table.name for table in self.tables)
+
+    def table_ref(self, alias: str) -> TableRef:
+        for table in self.tables:
+            if table.name == alias:
+                return table
+        raise QueryError(f"no table aliased {alias!r} in query")
+
+    def predicates_on(self, alias: str) -> tuple[Predicate, ...]:
+        return tuple(p for p in self.predicates if p.column.table == alias)
+
+    def joins_between(self, aliases_a: frozenset[str],
+                      aliases_b: frozenset[str]) -> tuple[JoinCondition, ...]:
+        """Join conditions connecting two disjoint sets of table aliases."""
+        found = []
+        for join in self.joins:
+            sides = {join.left.table, join.right.table}
+            if (sides & aliases_a) and (sides & aliases_b):
+                found.append(join)
+        return tuple(found)
+
+    @property
+    def num_joins(self) -> int:
+        return len(self.joins)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        from repro.sql.text import query_to_sql
+        return query_to_sql(self)

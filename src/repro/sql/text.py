@@ -1,0 +1,53 @@
+"""Render a :class:`~repro.sql.ast.Query` as SQL text."""
+
+from __future__ import annotations
+
+from repro.sql.ast import ComparisonOperator, Predicate, Query
+
+__all__ = ["query_to_sql", "predicate_to_sql"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def predicate_to_sql(predicate: Predicate) -> str:
+    column = f"{predicate.column.table}.{predicate.column.column}"
+    if predicate.operator is ComparisonOperator.BETWEEN:
+        low, high = predicate.value
+        return f"{column} BETWEEN {_format_value(low)} AND {_format_value(high)}"
+    if predicate.operator is ComparisonOperator.IN:
+        inner = ", ".join(_format_value(v) for v in predicate.value)
+        return f"{column} IN ({inner})"
+    return f"{column} {predicate.operator.value} {_format_value(predicate.value)}"
+
+
+def query_to_sql(query: Query) -> str:
+    """Produce canonical SQL text for a query."""
+    if query.aggregates:
+        select_items = [str(agg) for agg in query.aggregates]
+    elif query.group_by:
+        select_items = [str(col) for col in query.group_by]
+    else:
+        select_items = ["COUNT(*)"]
+    if query.group_by and query.aggregates:
+        select_items = [str(col) for col in query.group_by] + select_items
+
+    from_items = []
+    for table in query.tables:
+        if table.alias and table.alias != table.table_name:
+            from_items.append(f"{table.table_name} {table.alias}")
+        else:
+            from_items.append(table.table_name)
+
+    where_items = [str(join) for join in query.joins]
+    where_items += [predicate_to_sql(p) for p in query.predicates]
+
+    sql = f"SELECT {', '.join(select_items)} FROM {', '.join(from_items)}"
+    if where_items:
+        sql += f" WHERE {' AND '.join(where_items)}"
+    if query.group_by:
+        sql += f" GROUP BY {', '.join(str(c) for c in query.group_by)}"
+    return sql + ";"

@@ -1,0 +1,13 @@
+"""Zero-shot physical design tuning (paper Section 4.1).
+
+A zero-shot cost model in What-If mode predicts how a query's runtime
+would change under a hypothetical index — on a database the model has
+never seen.  :class:`~repro.tuning.advisor.IndexAdvisor` uses those
+predictions to drive a classical greedy index-selection loop without
+executing a single training query on the target database.
+"""
+
+from repro.tuning.advisor import AdvisorRecommendation, IndexAdvisor
+from repro.tuning.whatif_model import ZeroShotWhatIfEstimator
+
+__all__ = ["AdvisorRecommendation", "IndexAdvisor", "ZeroShotWhatIfEstimator"]

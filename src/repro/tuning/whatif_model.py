@@ -1,0 +1,57 @@
+"""Zero-shot What-If runtime estimation.
+
+Combines the :class:`~repro.optimizer.whatif.WhatIfPlanner` (hypothetical
+indexes, re-planning) with a trained zero-shot model.  Hypothetical plans
+cannot be executed, so features use the optimizer's *estimated*
+cardinalities — the deployable configuration of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import ModelError
+from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.models.zero_shot import ZeroShotCostModel
+from repro.optimizer.whatif import IndexSpec, WhatIfPlanner
+from repro.sql.ast import Query
+
+__all__ = ["ZeroShotWhatIfEstimator"]
+
+
+@dataclass
+class ZeroShotWhatIfEstimator:
+    """Answers "how fast would this query be if index X existed?"."""
+
+    database: Database
+    model: ZeroShotCostModel
+
+    def __post_init__(self):
+        if not self.model.is_fitted:
+            raise ModelError("what-if estimation needs a fitted zero-shot model")
+        self._planner = WhatIfPlanner(self.database)
+        self._featurizer = ZeroShotFeaturizer(CardinalitySource.ESTIMATED)
+
+    def estimate_runtime(self, query: Query,
+                         indexes: list[IndexSpec] | None = None) -> float:
+        """Predicted runtime (seconds) of ``query`` under the given
+        hypothetical indexes (none = current physical design)."""
+        if indexes:
+            plan = self._planner.plan_with_indexes(query, indexes)
+            with self._planner.hypothetical_indexes(indexes):
+                graph = self._featurizer.featurize(plan, self.database)
+        else:
+            plan = self._planner.plan_without_indexes(query)
+            graph = self._featurizer.featurize(plan, self.database)
+        return float(self.model.predict_runtime([graph])[0])
+
+    def estimate_workload(self, queries: list[Query],
+                          indexes: list[IndexSpec] | None = None) -> float:
+        """Total predicted runtime of a workload (seconds)."""
+        if not queries:
+            raise ModelError("cannot estimate an empty workload")
+        return float(np.sum([self.estimate_runtime(q, indexes)
+                             for q in queries]))

@@ -1,0 +1,209 @@
+"""IMDB evaluation workloads: *scale*, *synthetic*, *JOB-light*.
+
+The paper evaluates on the three benchmark workloads of Kipf et al.
+(CIDR'19) over the IMDB database.  The real query files target the real
+IMDB; we generate workloads with the same documented character on the
+IMDB-shaped database:
+
+* **JOB-light**: 1–4 FK joins around ``title``, mostly categorical
+  equality predicates, *rarely* range predicates (the paper notes E2E
+  catches up on JOB-light precisely because ranges are rare).
+* **scale**: join-count sweep (1–5 tables), a couple of mixed
+  predicates per query — stresses how costs scale with plan size.
+* **synthetic**: predicate-heavy (up to 5), on few tables — stresses
+  selectivity estimation, including correlated attribute pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import WorkloadError
+from repro.sql.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    ColumnRef,
+    ComparisonOperator,
+    JoinCondition,
+    Predicate,
+    Query,
+    TableRef,
+)
+
+__all__ = ["BENCHMARK_NAMES", "make_benchmark_workload"]
+
+BENCHMARK_NAMES = ("scale", "synthetic", "job-light")
+
+_CHILD_TABLES = ("movie_companies", "movie_info", "movie_info_idx",
+                 "movie_keyword", "cast_info")
+
+#: Categorical equality candidates: (table, column, domain size).
+_CATEGORICALS = (
+    ("title", "kind_id", 6),
+    ("movie_companies", "company_type_id", 4),
+    ("movie_info", "info_type_id", 110),
+    ("movie_info_idx", "info_type_id", 5),
+    ("cast_info", "role_id", 10),
+)
+
+#: Numeric range candidates: (table, column, low, high).
+_NUMERICS = (
+    ("title", "production_year", 1905, 2024),
+    ("title", "votes", 1, 200_000),
+    ("title", "rating", 1.0, 10.0),
+    ("title", "runtime_minutes", 5, 300),
+    ("title", "season_nr", 0, 39),
+    ("cast_info", "nr_order", 1, 80),
+    ("movie_info", "info_value", 0.0, 110.0),
+    ("movie_info_idx", "info_value", 1.0, 10.0),
+    ("movie_keyword", "keyword_id", 0, 19_999),
+)
+
+
+def _title_join(child: str) -> JoinCondition:
+    return JoinCondition(ColumnRef("title", "id"), ColumnRef(child, "movie_id"))
+
+
+def _tables_with_joins(rng: np.random.Generator, num_children: int
+                       ) -> tuple[tuple[TableRef, ...], tuple[JoinCondition, ...]]:
+    children = list(_CHILD_TABLES)
+    rng.shuffle(children)
+    chosen = children[:num_children]
+    tables = (TableRef("title"),) + tuple(TableRef(c) for c in chosen)
+    joins = tuple(_title_join(c) for c in chosen)
+    return tables, joins
+
+
+def _categorical_predicate(rng: np.random.Generator,
+                           tables: set[str]) -> Predicate | None:
+    candidates = [c for c in _CATEGORICALS if c[0] in tables]
+    if not candidates:
+        return None
+    table, column, domain = candidates[int(rng.integers(0, len(candidates)))]
+    value = float(rng.integers(0, domain))
+    return Predicate(ColumnRef(table, column), ComparisonOperator.EQ, value)
+
+
+def _numeric_predicate(rng: np.random.Generator,
+                       tables: set[str]) -> Predicate | None:
+    candidates = [c for c in _NUMERICS if c[0] in tables]
+    if not candidates:
+        return None
+    table, column, low, high = candidates[int(rng.integers(0, len(candidates)))]
+    a = float(rng.uniform(low, high))
+    b = float(rng.uniform(low, high))
+    roll = rng.random()
+    ref = ColumnRef(table, column)
+    if roll < 0.4:
+        lo, hi = (a, b) if a <= b else (b, a)
+        return Predicate(ref, ComparisonOperator.BETWEEN, (lo, hi))
+    if roll < 0.7:
+        return Predicate(ref, ComparisonOperator.GT, a)
+    return Predicate(ref, ComparisonOperator.LEQ, a)
+
+
+def _aggregate(rng: np.random.Generator) -> tuple[AggregateSpec, ...]:
+    if rng.random() < 0.5:
+        return (AggregateSpec(AggregateFunction.COUNT),)
+    return (AggregateSpec(AggregateFunction.MIN,
+                          ColumnRef("title", "production_year")),)
+
+
+def _child_filters(rng: np.random.Generator, tables: tuple[TableRef, ...]
+                   ) -> list[Predicate]:
+    """Selective per-child filters for wide star joins.
+
+    Real JOB-light queries filter the child relations (info_type_id = X,
+    role_id = Y, ...); unfiltered many-way star joins do not occur in the
+    benchmarks, and would dominate runtime measurements.
+    """
+    children = [t.table_name for t in tables if t.table_name != "title"]
+    predicates = []
+    if len(children) >= 3:
+        for child in children:
+            predicate = _categorical_predicate(rng, {child})
+            if predicate is None:
+                # movie_keyword has no categorical column; an equality on
+                # the keyword id is the JOB-light-style selective filter.
+                numerics = [c for c in _NUMERICS if c[0] == child]
+                if not numerics:
+                    continue
+                table, column, low, high = numerics[
+                    int(rng.integers(0, len(numerics)))]
+                predicate = Predicate(ColumnRef(table, column),
+                                      ComparisonOperator.EQ,
+                                      float(rng.integers(low, high)))
+            predicates.append(predicate)
+    return predicates
+
+
+def _job_light_query(rng: np.random.Generator) -> Query:
+    tables, joins = _tables_with_joins(rng, int(rng.integers(1, 5)))
+    table_names = {t.table_name for t in tables}
+    predicates: list[Predicate] = _child_filters(rng, tables)
+    for _ in range(int(rng.integers(1, 4))):
+        # JOB-light rarely contains range predicates (paper §3.2).
+        if rng.random() < 0.85:
+            predicate = _categorical_predicate(rng, table_names)
+        else:
+            predicate = _numeric_predicate(rng, table_names)
+        if predicate is not None:
+            predicates.append(predicate)
+    return Query(tables=tables, joins=joins, predicates=tuple(predicates),
+                 aggregates=_aggregate(rng))
+
+
+def _scale_query(rng: np.random.Generator) -> Query:
+    tables, joins = _tables_with_joins(rng, int(rng.integers(0, 6)))
+    table_names = {t.table_name for t in tables}
+    predicates = _child_filters(rng, tables)
+    for _ in range(int(rng.integers(1, 3))):
+        maker = _numeric_predicate if rng.random() < 0.5 \
+            else _categorical_predicate
+        predicate = maker(rng, table_names)
+        if predicate is not None:
+            predicates.append(predicate)
+    return Query(tables=tables, joins=joins, predicates=tuple(predicates),
+                 aggregates=_aggregate(rng))
+
+
+def _synthetic_query(rng: np.random.Generator) -> Query:
+    tables, joins = _tables_with_joins(rng, int(rng.integers(0, 3)))
+    table_names = {t.table_name for t in tables}
+    predicates = []
+    for _ in range(int(rng.integers(2, 6))):
+        # Predicate-heavy, mostly ranges (stresses selectivity estimation).
+        if rng.random() < 0.75:
+            predicate = _numeric_predicate(rng, table_names)
+        else:
+            predicate = _categorical_predicate(rng, table_names)
+        if predicate is not None:
+            predicates.append(predicate)
+    return Query(tables=tables, joins=joins, predicates=tuple(predicates),
+                 aggregates=_aggregate(rng))
+
+
+_MAKERS = {
+    "job-light": _job_light_query,
+    "scale": _scale_query,
+    "synthetic": _synthetic_query,
+}
+
+
+def make_benchmark_workload(database: Database, name: str, num_queries: int,
+                            seed: int = 0) -> list[Query]:
+    """Generate one of the three evaluation workloads on the IMDB database."""
+    if name not in _MAKERS:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+    if "title" not in database.schema.table_names:
+        raise WorkloadError(
+            "benchmark workloads require the IMDB-shaped schema"
+        )
+    if num_queries <= 0:
+        raise WorkloadError("num_queries must be positive")
+    rng = np.random.default_rng(seed)
+    maker = _MAKERS[name]
+    return [maker(rng) for _ in range(num_queries)]

@@ -1,0 +1,154 @@
+"""Multi-database training corpus assembly.
+
+``collect_training_corpus`` runs a random workload on every training
+database — optionally after creating a random but fixed set of indexes
+per database, exactly as the paper does for what-if/index training
+(§4.1: "we additionally created a random but fixed set of indexes per
+database before running the training queries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import WorkloadError
+from repro.featurize.graph import CardinalitySource, PlanGraph, ZeroShotFeaturizer
+from repro.runtime import SystemParameters
+from repro.workload.generator import WorkloadSpec, generate_workload
+from repro.workload.runner import ExecutedQueryRecord, WorkloadRunner
+
+__all__ = ["TrainingCorpus", "collect_training_corpus", "create_random_indexes"]
+
+
+@dataclass
+class TrainingCorpus:
+    """Executed workloads across the training fleet."""
+
+    records_by_database: dict[str, list[ExecutedQueryRecord]] = \
+        field(default_factory=dict)
+    databases: dict[str, Database] = field(default_factory=dict)
+
+    @property
+    def num_queries(self) -> int:
+        return sum(len(r) for r in self.records_by_database.values())
+
+    @property
+    def num_databases(self) -> int:
+        return len(self.records_by_database)
+
+    def all_records(self) -> list[ExecutedQueryRecord]:
+        return [record for records in self.records_by_database.values()
+                for record in records]
+
+    def featurize(self, source: CardinalitySource,
+                  database_names: list[str] | None = None,
+                  target: str = "runtime") -> list[PlanGraph]:
+        """Labelled plan graphs for training a zero-shot model.
+
+        ``database_names`` restricts the corpus (used by the
+        learning-curve experiment E5).  ``target`` selects the label:
+        ``"runtime"`` (seconds), or the §4.3 resource-prediction targets
+        ``"memory"`` (peak working-memory bytes) and ``"io"`` (pages
+        read) — the same transferable encoding serves all of them.
+        """
+        if target not in ("runtime", "memory", "io"):
+            raise WorkloadError(
+                f"unknown target {target!r}; choose runtime, memory or io"
+            )
+        featurizer = ZeroShotFeaturizer(source)
+        graphs = []
+        names = database_names or list(self.records_by_database)
+        for name in names:
+            if name not in self.records_by_database:
+                raise WorkloadError(f"no records for database {name!r}")
+            database = self.databases[name]
+            for record in self.records_by_database[name]:
+                if target == "runtime":
+                    label = record.runtime_seconds
+                elif target == "memory":
+                    label = record.memory_peak_bytes + 1.0
+                else:
+                    label = record.io_pages + 1.0
+                graphs.append(featurizer.featurize(
+                    record.plan, database, label
+                ))
+        return graphs
+
+
+def create_random_indexes(database: Database, count: int,
+                          rng: np.random.Generator) -> list[str]:
+    """Create a random but fixed set of single-column indexes.
+
+    Indexes go on non-PK numeric/categorical attribute columns and on FK
+    columns (realistic targets), so training plans contain index scans
+    and index nested-loop joins.
+    """
+    candidates: list[tuple[str, str]] = []
+    for fk in database.schema.foreign_keys:
+        candidates.append((fk.child_table, fk.child_column))
+    for table_name in database.schema.table_names:
+        table = database.schema.table(table_name)
+        for column in table.columns:
+            if column.name == table.primary_key:
+                continue
+            candidates.append((table_name, column.name))
+    rng.shuffle(candidates)
+    created = []
+    for table_name, column_name in candidates:
+        if len(created) >= count:
+            break
+        if database.indexes_on(table_name, column_name):
+            continue
+        name = f"rnd_{table_name}_{column_name}"
+        database.create_index(name, table_name, column_name)
+        created.append(name)
+    return created
+
+
+def collect_training_corpus(databases: list[Database],
+                            queries_per_database: int,
+                            seed: int = 0,
+                            random_indexes_per_database: int = 0,
+                            workload_spec: WorkloadSpec | None = None,
+                            system: SystemParameters | None = None,
+                            noise_sigma: float = 0.06) -> TrainingCorpus:
+    """Run a training workload on every database; return the corpus.
+
+    This is the paper's one-time training-data collection effort.
+    """
+    if not databases:
+        raise WorkloadError("need at least one training database")
+    if queries_per_database <= 0:
+        raise WorkloadError("queries_per_database must be positive")
+    corpus = TrainingCorpus()
+    rng = np.random.default_rng(seed)
+    for database in databases:
+        if random_indexes_per_database > 0:
+            create_random_indexes(database, random_indexes_per_database, rng)
+        spec = workload_spec or WorkloadSpec(
+            num_queries=queries_per_database,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        if spec.num_queries != queries_per_database:
+            spec = WorkloadSpec(
+                num_queries=queries_per_database,
+                max_tables=spec.max_tables,
+                max_predicates=spec.max_predicates,
+                max_aggregates=spec.max_aggregates,
+                group_by_probability=spec.group_by_probability,
+                count_star_probability=spec.count_star_probability,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        queries = generate_workload(database, spec)
+        runner = WorkloadRunner(
+            database,
+            system=system or SystemParameters(),
+            noise_sigma=noise_sigma,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        corpus.records_by_database[database.name] = runner.run(queries)
+        corpus.databases[database.name] = database
+    return corpus

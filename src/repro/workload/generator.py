@@ -1,0 +1,271 @@
+"""Random query generator.
+
+Matches the paper's training workload space: acyclic FK joins up to
+five-way, conjunctions of up to five single-column predicates (numeric
+ranges and categorical equality/IN), and up to three aggregates.
+Predicate literals are sampled from the column's *observed* domain
+(histogram bounds / MCVs), so generated predicates have a realistic
+spread of selectivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.statistics import ColumnStatistics
+from repro.db.types import DataType
+from repro.errors import WorkloadError
+from repro.sql.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    ColumnRef,
+    ComparisonOperator,
+    JoinCondition,
+    Predicate,
+    Query,
+    TableRef,
+)
+
+__all__ = ["WorkloadSpec", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a generated workload (defaults follow the paper)."""
+
+    num_queries: int = 100
+    max_tables: int = 5        # up to five-way joins
+    max_predicates: int = 5
+    max_aggregates: int = 3
+    group_by_probability: float = 0.1
+    count_star_probability: float = 0.4
+    #: Probability of an additional selective equality filter per table
+    #: in wide (>= 4-way) joins.  Realistic benchmark queries (JOB-light
+    #: et al.) filter the joined relations instead of computing raw
+    #: many-way join products.
+    wide_join_filter_probability: float = 0.7
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_queries <= 0:
+            raise WorkloadError("num_queries must be positive")
+        if self.max_tables < 1:
+            raise WorkloadError("max_tables must be at least 1")
+
+
+def _join_neighbours(database: Database, tables: set[str]) -> list:
+    """FK edges extending the connected table set by one new table."""
+    edges = []
+    for fk in database.schema.foreign_keys:
+        if fk.child_table in tables and fk.parent_table not in tables:
+            edges.append(fk)
+        elif fk.parent_table in tables and fk.child_table not in tables:
+            edges.append(fk)
+    return edges
+
+
+def _pick_tables(database: Database, rng: np.random.Generator,
+                 max_tables: int) -> tuple[list[str], list[JoinCondition]]:
+    names = database.schema.table_names
+    start = names[int(rng.integers(0, len(names)))]
+    tables = [start]
+    joins: list[JoinCondition] = []
+    target = int(rng.integers(1, max_tables + 1))
+    while len(tables) < target:
+        edges = _join_neighbours(database, set(tables))
+        if not edges:
+            break
+        fk = edges[int(rng.integers(0, len(edges)))]
+        new_table = fk.parent_table if fk.parent_table not in tables \
+            else fk.child_table
+        tables.append(new_table)
+        joins.append(JoinCondition(
+            ColumnRef(fk.child_table, fk.child_column),
+            ColumnRef(fk.parent_table, fk.parent_column),
+        ))
+    return tables, joins
+
+
+def _sample_numeric_bound(stats: ColumnStatistics,
+                          rng: np.random.Generator) -> float:
+    """A literal drawn from the column's histogram bounds (a quantile)."""
+    if stats.histogram is not None and stats.histogram.num_buckets > 1:
+        bounds = stats.histogram.bounds
+        return float(bounds[int(rng.integers(0, len(bounds)))])
+    low = stats.min_value if stats.min_value is not None else 0.0
+    high = stats.max_value if stats.max_value is not None else 1.0
+    return float(rng.uniform(low, high))
+
+
+def _sample_categorical_value(stats: ColumnStatistics,
+                              rng: np.random.Generator) -> float:
+    if stats.mcv_values and rng.random() < 0.7:
+        return float(stats.mcv_values[int(rng.integers(0, len(stats.mcv_values)))])
+    low = int(stats.min_value) if stats.min_value is not None else 0
+    high = int(stats.max_value) if stats.max_value is not None else 1
+    return float(rng.integers(low, high + 1))
+
+
+def _make_predicate(database: Database, table_name: str, column_name: str,
+                    rng: np.random.Generator) -> Predicate | None:
+    column = database.schema.table(table_name).column(column_name)
+    stats = database.table_statistics(table_name).column(column_name)
+    if stats.num_distinct == 0:
+        return None
+    ref = ColumnRef(table_name, column_name)
+    if column.data_type is DataType.CATEGORICAL:
+        if rng.random() < 0.75:
+            return Predicate(ref, ComparisonOperator.EQ,
+                             _sample_categorical_value(stats, rng))
+        values = {_sample_categorical_value(stats, rng)
+                  for _ in range(int(rng.integers(2, 5)))}
+        return Predicate(ref, ComparisonOperator.IN, tuple(sorted(values)))
+    # Numeric column.
+    roll = rng.random()
+    if roll < 0.35:
+        a = _sample_numeric_bound(stats, rng)
+        b = _sample_numeric_bound(stats, rng)
+        low, high = (a, b) if a <= b else (b, a)
+        if low == high:
+            return Predicate(ref, ComparisonOperator.EQ, low)
+        return Predicate(ref, ComparisonOperator.BETWEEN, (low, high))
+    if roll < 0.6:
+        op = ComparisonOperator.GT if rng.random() < 0.5 else ComparisonOperator.GEQ
+        return Predicate(ref, op, _sample_numeric_bound(stats, rng))
+    if roll < 0.85:
+        op = ComparisonOperator.LT if rng.random() < 0.5 else ComparisonOperator.LEQ
+        return Predicate(ref, op, _sample_numeric_bound(stats, rng))
+    return Predicate(ref, ComparisonOperator.EQ,
+                     _sample_numeric_bound(stats, rng))
+
+
+def _predicate_columns(database: Database,
+                       tables: list[str]) -> list[tuple[str, str]]:
+    """Candidate (table, column) pairs for predicates: non-key attributes."""
+    key_columns = {(fk.child_table, fk.child_column)
+                   for fk in database.schema.foreign_keys}
+    key_columns |= {(fk.parent_table, fk.parent_column)
+                    for fk in database.schema.foreign_keys}
+    candidates = []
+    for table_name in tables:
+        table = database.schema.table(table_name)
+        for column in table.columns:
+            if column.name == table.primary_key:
+                continue
+            if (table_name, column.name) in key_columns:
+                continue
+            candidates.append((table_name, column.name))
+    return candidates
+
+
+def _numeric_columns(database: Database,
+                     tables: list[str]) -> list[tuple[str, str]]:
+    found = []
+    for table_name in tables:
+        for column in database.schema.table(table_name).columns:
+            if column.data_type.is_numeric:
+                found.append((table_name, column.name))
+    return found
+
+
+def generate_workload(database: Database, spec: WorkloadSpec) -> list[Query]:
+    """Generate a deterministic random workload for one database."""
+    if not database.is_analyzed:
+        raise WorkloadError(
+            f"database {database.name!r} must be analyzed before "
+            "workload generation (literals are sampled from statistics)"
+        )
+    rng = np.random.default_rng(spec.seed)
+    queries: list[Query] = []
+    attempts = 0
+    while len(queries) < spec.num_queries:
+        attempts += 1
+        if attempts > spec.num_queries * 20:
+            raise WorkloadError(
+                "workload generation stalled; schema may lack joinable "
+                "tables or predicate-friendly columns"
+            )
+        tables, joins = _pick_tables(database, rng, spec.max_tables)
+
+        predicates: list[Predicate] = []
+        candidates = _predicate_columns(database, tables)
+        if candidates:
+            num_predicates = int(rng.integers(0, spec.max_predicates + 1))
+            rng.shuffle(candidates)
+            for table_name, column_name in candidates[:num_predicates]:
+                predicate = _make_predicate(database, table_name,
+                                            column_name, rng)
+                if predicate is not None:
+                    predicates.append(predicate)
+
+        # Wide joins get per-table selective equality filters (the shape
+        # real star-join benchmarks have).
+        if len(tables) >= 4:
+            filtered = {p.column.table for p in predicates}
+            by_table: dict[str, list[tuple[str, str]]] = {}
+            for table_name, column_name in _predicate_columns(database, tables):
+                by_table.setdefault(table_name, []).append(
+                    (table_name, column_name))
+            for table_name in tables[1:]:
+                if table_name in filtered or table_name not in by_table:
+                    continue
+                if rng.random() >= spec.wide_join_filter_probability:
+                    continue
+                choice = by_table[table_name][
+                    int(rng.integers(0, len(by_table[table_name])))]
+                column = database.schema.table(choice[0]).column(choice[1])
+                stats = database.table_statistics(choice[0]).column(choice[1])
+                if stats.num_distinct == 0:
+                    continue
+                ref = ColumnRef(choice[0], choice[1])
+                if column.data_type is DataType.CATEGORICAL:
+                    predicates.append(Predicate(
+                        ref, ComparisonOperator.EQ,
+                        _sample_categorical_value(stats, rng)))
+                else:
+                    predicates.append(Predicate(
+                        ref, ComparisonOperator.EQ,
+                        _sample_numeric_bound(stats, rng)))
+
+        aggregates: list[AggregateSpec] = []
+        if rng.random() < spec.count_star_probability:
+            aggregates.append(AggregateSpec(AggregateFunction.COUNT))
+        else:
+            numeric = _numeric_columns(database, tables)
+            num_aggregates = int(rng.integers(1, spec.max_aggregates + 1))
+            functions = [AggregateFunction.MIN, AggregateFunction.MAX,
+                         AggregateFunction.SUM, AggregateFunction.AVG]
+            for _ in range(num_aggregates):
+                if numeric and rng.random() < 0.8:
+                    table_name, column_name = numeric[
+                        int(rng.integers(0, len(numeric)))]
+                    aggregates.append(AggregateSpec(
+                        functions[int(rng.integers(0, len(functions)))],
+                        ColumnRef(table_name, column_name),
+                    ))
+                else:
+                    aggregates.append(AggregateSpec(AggregateFunction.COUNT))
+
+        group_by: tuple[ColumnRef, ...] = ()
+        if rng.random() < spec.group_by_probability:
+            categorical = [
+                (t, c.name) for t in tables
+                for c in database.schema.table(t).columns
+                if c.data_type is DataType.CATEGORICAL
+            ]
+            if categorical:
+                table_name, column_name = categorical[
+                    int(rng.integers(0, len(categorical)))]
+                group_by = (ColumnRef(table_name, column_name),)
+
+        queries.append(Query(
+            tables=tuple(TableRef(t) for t in tables),
+            joins=tuple(joins),
+            predicates=tuple(predicates),
+            aggregates=tuple(aggregates),
+            group_by=group_by,
+        ))
+    return queries

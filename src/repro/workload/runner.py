@@ -1,0 +1,81 @@
+"""Workload execution: plan + execute + simulate, producing labelled records.
+
+This is the training-data collection step of the paper (running the
+workload and logging plans with runtimes).  The runner also accumulates
+the total *simulated* execution time, which Figure 3's right-most panel
+reports: the hours of query execution a workload-driven model costs on a
+new database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.engine import Executor
+from repro.errors import WorkloadError
+from repro.optimizer.planner import Planner, PlannerOptions
+from repro.plans.plan import PhysicalPlan
+from repro.runtime import RuntimeSimulator, SystemParameters
+from repro.sql.ast import Query
+
+__all__ = ["ExecutedQueryRecord", "WorkloadRunner"]
+
+
+@dataclass
+class ExecutedQueryRecord:
+    """One executed training/evaluation query."""
+
+    query: Query
+    plan: PhysicalPlan            # executed: actual cardinalities annotated
+    runtime_seconds: float
+    database_name: str
+    memory_peak_bytes: float = 0.0
+    io_pages: float = 0.0
+
+    @property
+    def optimizer_cost(self) -> float:
+        return self.plan.total_cost
+
+
+@dataclass
+class WorkloadRunner:
+    """Runs workloads on one database."""
+
+    database: Database
+    system: SystemParameters = field(default_factory=SystemParameters)
+    planner_options: PlannerOptions = field(default_factory=PlannerOptions)
+    noise_sigma: float = 0.06
+    seed: int = 0
+
+    def __post_init__(self):
+        self._planner = Planner(self.database, self.planner_options)
+        self._executor = Executor(self.database)
+        self._simulator = RuntimeSimulator(
+            self.database, system=self.system, noise_sigma=self.noise_sigma,
+            rng=np.random.default_rng(self.seed),
+        )
+
+    def run_query(self, query: Query) -> ExecutedQueryRecord:
+        plan = self._planner.plan(query)
+        self._executor.execute(plan)
+        runtime = self._simulator.simulate(plan)
+        return ExecutedQueryRecord(
+            query=query, plan=plan,
+            runtime_seconds=runtime.total_seconds,
+            database_name=self.database.name,
+            memory_peak_bytes=runtime.memory_peak_bytes,
+            io_pages=runtime.io_pages,
+        )
+
+    def run(self, queries: list[Query]) -> list[ExecutedQueryRecord]:
+        if not queries:
+            raise WorkloadError("cannot run an empty workload")
+        return [self.run_query(query) for query in queries]
+
+    @staticmethod
+    def total_execution_hours(records: list[ExecutedQueryRecord]) -> float:
+        """Cumulative simulated execution time (Figure 3, last panel)."""
+        return sum(r.runtime_seconds for r in records) / 3600.0

@@ -1,0 +1,80 @@
+"""Shared fixtures: small databases reused across the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DataType,
+    ForeignKey,
+    Schema,
+    SyntheticDatabaseSpec,
+    Table,
+    TableData,
+    generate_database,
+    make_imdb_database,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_imdb():
+    """A small IMDB-shaped database (≈8k rows), analyzed, with PK indexes."""
+    return make_imdb_database(scale=0.04, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_db():
+    """One small synthetic training database."""
+    spec = SyntheticDatabaseSpec(
+        name="synth", seed=11, num_tables=4, min_rows=300, max_rows=2_000
+    )
+    return generate_database(spec)
+
+
+@pytest.fixture()
+def two_table_db():
+    """A hand-built two-table database with known contents.
+
+    parent(id, value): 100 rows, value = id % 10
+    child(id, parent_id, amount): 500 rows, parent_id = id % 100,
+    amount = id (float).
+    """
+    parent = Table(
+        name="parent",
+        columns=(Column("id", DataType.INTEGER),
+                 Column("value", DataType.INTEGER)),
+        primary_key="id",
+    )
+    child = Table(
+        name="child",
+        columns=(Column("id", DataType.INTEGER),
+                 Column("parent_id", DataType.INTEGER),
+                 Column("amount", DataType.FLOAT)),
+        primary_key="id",
+    )
+    schema = Schema.from_tables(
+        "toy", [parent, child],
+        [ForeignKey("child", "parent_id", "parent", "id")],
+    )
+    parent_data = TableData(
+        table=parent,
+        columns={
+            "id": np.arange(100, dtype=np.int64),
+            "value": np.arange(100, dtype=np.int64) % 10,
+        },
+    )
+    child_data = TableData(
+        table=child,
+        columns={
+            "id": np.arange(500, dtype=np.int64),
+            "parent_id": np.arange(500, dtype=np.int64) % 100,
+            "amount": np.arange(500, dtype=np.float64),
+        },
+    )
+    database = Database.from_tables(
+        "toy", schema, {"parent": parent_data, "child": child_data}
+    )
+    database.create_index("parent_pkey", "parent", "id", unique=True)
+    database.analyze()
+    return database

@@ -1,0 +1,106 @@
+"""Schema objects: validation and lookup."""
+
+import pytest
+
+from repro.db import Column, DataType, ForeignKey, Schema, Table
+from repro.errors import SchemaError
+
+
+def make_table(name="t", pk="id"):
+    return Table(
+        name=name,
+        columns=(Column("id", DataType.INTEGER),
+                 Column("x", DataType.FLOAT),
+                 Column("c", DataType.CATEGORICAL, num_categories=5)),
+        primary_key=pk,
+    )
+
+
+class TestColumn:
+    def test_width(self):
+        assert Column("a", DataType.INTEGER).width_bytes == 4
+        assert Column("a", DataType.FLOAT).width_bytes == 8
+        assert Column("a", DataType.CATEGORICAL, num_categories=3).width_bytes == 4
+
+    def test_categorical_requires_domain(self):
+        with pytest.raises(SchemaError):
+            Column("a", DataType.CATEGORICAL)
+
+    def test_non_categorical_rejects_domain(self):
+        with pytest.raises(SchemaError):
+            Column("a", DataType.INTEGER, num_categories=3)
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", DataType.INTEGER)
+
+    def test_numeric_flag(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.CATEGORICAL.is_numeric
+
+
+class TestTable:
+    def test_lookup(self):
+        table = make_table()
+        assert table.column("x").data_type is DataType.FLOAT
+        assert table.has_column("c")
+        assert not table.has_column("nope")
+
+    def test_missing_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().column("nope")
+
+    def test_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            Table("t", (Column("a", DataType.INTEGER),
+                        Column("a", DataType.FLOAT)))
+
+    def test_empty_columns(self):
+        with pytest.raises(SchemaError):
+            Table("t", ())
+
+    def test_bad_primary_key(self):
+        with pytest.raises(SchemaError):
+            make_table(pk="nope")
+
+    def test_tuple_width(self):
+        assert make_table().tuple_width_bytes == 4 + 8 + 4
+
+
+class TestSchema:
+    def test_from_tables_and_fk(self):
+        parent = make_table("p")
+        child = Table(
+            "c",
+            (Column("id", DataType.INTEGER), Column("p_id", DataType.INTEGER)),
+        )
+        schema = Schema.from_tables(
+            "db", [parent, child], [ForeignKey("c", "p_id", "p", "id")]
+        )
+        assert schema.table_names == ["p", "c"]
+        assert len(schema.join_edges()) == 1
+        assert schema.foreign_keys_between("p", "c")
+        assert schema.foreign_keys_between("c", "p")
+        assert not schema.foreign_keys_between("p", "p")
+
+    def test_duplicate_table(self):
+        schema = Schema.from_tables("db", [make_table("a")])
+        with pytest.raises(SchemaError):
+            schema.add_table(make_table("a"))
+
+    def test_fk_unknown_table(self):
+        schema = Schema.from_tables("db", [make_table("a")])
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key(ForeignKey("a", "id", "missing", "id"))
+
+    def test_fk_type_mismatch(self):
+        a = Table("a", (Column("id", DataType.INTEGER),))
+        b = Table("b", (Column("a_id", DataType.FLOAT),))
+        schema = Schema.from_tables("db", [a, b])
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key(ForeignKey("b", "a_id", "a", "id"))
+
+    def test_missing_table_lookup(self):
+        with pytest.raises(SchemaError):
+            Schema("empty").table("ghost")

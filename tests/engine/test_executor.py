@@ -1,0 +1,333 @@
+"""Executor correctness on hand-built plans with known answers.
+
+The two_table_db fixture has exactly known contents:
+parent.value = id % 10 (100 rows), child.parent_id = id % 100 (500 rows),
+child.amount = id as float.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Executor, execute_plan, predicate_mask
+from repro.errors import ExecutionError, PlanError
+from repro.plans import (
+    HashAggregate,
+    HashBuild,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalPlan,
+    PlainAggregate,
+    SeqScan,
+    Sort,
+)
+from repro.sql.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    ColumnRef,
+    ComparisonOperator,
+    JoinCondition,
+    Predicate,
+    Query,
+    TableRef,
+)
+
+
+def count_star():
+    return (AggregateSpec(AggregateFunction.COUNT),)
+
+
+def make_plan(root, db, tables=("parent",)):
+    query = Query(tables=tuple(TableRef(t) for t in tables))
+    return PhysicalPlan(root=root, query=query, database_name=db.name)
+
+
+def pred(table, column, op, value):
+    return Predicate(ColumnRef(table, column), op, value)
+
+
+class TestScans:
+    def test_seq_scan_all(self, two_table_db):
+        scan = SeqScan(table=TableRef("parent"))
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        result = execute_plan(two_table_db, make_plan(root, two_table_db))
+        assert result.scalar() == 100
+        assert scan.actual_rows == 100
+
+    def test_seq_scan_filtered(self, two_table_db):
+        scan = SeqScan(
+            table=TableRef("parent"),
+            filters=(pred("parent", "value", ComparisonOperator.EQ, 3.0),),
+        )
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        result = execute_plan(two_table_db, make_plan(root, two_table_db))
+        assert result.scalar() == 10  # value==3 hits ids 3,13,...,93
+
+    def test_seq_scan_range_conjunction(self, two_table_db):
+        scan = SeqScan(
+            table=TableRef("child"),
+            filters=(
+                pred("child", "amount", ComparisonOperator.GEQ, 100.0),
+                pred("child", "amount", ComparisonOperator.LT, 200.0),
+            ),
+        )
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        result = execute_plan(two_table_db, make_plan(root, two_table_db,
+                                                      ("child",)))
+        assert result.scalar() == 100
+
+    def test_index_scan_range(self, two_table_db):
+        scan = IndexScan(
+            table=TableRef("parent"),
+            index_name="parent_pkey",
+            index_column="id",
+            index_predicates=(pred("parent", "id",
+                                   ComparisonOperator.BETWEEN, (10.0, 19.0)),),
+        )
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        result = execute_plan(two_table_db, make_plan(root, two_table_db))
+        assert result.scalar() == 10
+
+    def test_index_scan_with_residual(self, two_table_db):
+        scan = IndexScan(
+            table=TableRef("parent"),
+            index_name="parent_pkey",
+            index_column="id",
+            index_predicates=(pred("parent", "id",
+                                   ComparisonOperator.LT, 50.0),),
+            residual_filters=(pred("parent", "value",
+                                   ComparisonOperator.EQ, 0.0),),
+        )
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        result = execute_plan(two_table_db, make_plan(root, two_table_db))
+        assert result.scalar() == 5  # ids 0,10,20,30,40
+
+    def test_hypothetical_index_rejected(self, two_table_db):
+        two_table_db.create_hypothetical_index("hypo_amount", "child", "amount")
+        scan = IndexScan(
+            table=TableRef("child"),
+            index_name="hypo_amount",
+            index_column="amount",
+            index_predicates=(pred("child", "amount",
+                                   ComparisonOperator.LT, 10.0),),
+        )
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        with pytest.raises(ExecutionError):
+            execute_plan(two_table_db, make_plan(root, two_table_db, ("child",)))
+        two_table_db.drop_index("hypo_amount")
+
+    def test_unknown_index_rejected(self, two_table_db):
+        scan = IndexScan(
+            table=TableRef("parent"), index_name="ghost", index_column="id",
+            index_predicates=(pred("parent", "id", ComparisonOperator.EQ, 1.0),),
+        )
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        with pytest.raises(ExecutionError):
+            execute_plan(two_table_db, make_plan(root, two_table_db))
+
+
+def join_plan(db, join_class, filter_year=None):
+    """parent JOIN child ON parent.id = child.parent_id."""
+    condition = JoinCondition(ColumnRef("parent", "id"),
+                              ColumnRef("child", "parent_id"))
+    parent_scan = SeqScan(table=TableRef("parent"))
+    child_scan = SeqScan(table=TableRef("child"))
+    if join_class is HashJoin:
+        join = HashJoin(condition=condition,
+                        children=[child_scan,
+                                  HashBuild(key=condition.left,
+                                            children=[parent_scan])])
+    elif join_class is MergeJoin:
+        join = MergeJoin(
+            condition=condition,
+            children=[Sort(key=condition.left, children=[parent_scan]),
+                      Sort(key=condition.right, children=[child_scan])],
+        )
+    else:
+        join = NestedLoopJoin(condition=condition,
+                              children=[parent_scan, child_scan])
+    root = PlainAggregate(aggregates=count_star(), children=[join])
+    return make_plan(root, db, ("parent", "child")), join
+
+
+class TestJoins:
+    @pytest.mark.parametrize("join_class", [HashJoin, MergeJoin, NestedLoopJoin])
+    def test_fk_join_cardinality(self, two_table_db, join_class):
+        plan, join = join_plan(two_table_db, join_class)
+        result = execute_plan(two_table_db, plan)
+        # every child row matches exactly one parent
+        assert result.scalar() == 500
+        assert join.actual_rows == 500
+
+    def test_index_nested_loop(self, two_table_db):
+        condition = JoinCondition(ColumnRef("child", "parent_id"),
+                                  ColumnRef("parent", "id"))
+        outer = SeqScan(
+            table=TableRef("child"),
+            filters=(pred("child", "amount", ComparisonOperator.LT, 50.0),),
+        )
+        inner = IndexScan(
+            table=TableRef("parent"),
+            index_name="parent_pkey",
+            index_column="id",
+            lookup_column=ColumnRef("child", "parent_id"),
+        )
+        join = NestedLoopJoin(condition=condition, children=[outer, inner])
+        root = PlainAggregate(aggregates=count_star(), children=[join])
+        plan = make_plan(root, two_table_db, ("parent", "child"))
+        result = execute_plan(two_table_db, plan)
+        assert result.scalar() == 50
+        assert inner.actual_rows == 50
+
+    def test_join_result_columns_merged(self, two_table_db):
+        plan, join = join_plan(two_table_db, HashJoin)
+        executor = Executor(two_table_db)
+        relation = executor._execute_node(join)
+        assert "parent.value" in relation.columns
+        assert "child.amount" in relation.columns
+
+    def test_empty_join(self, two_table_db):
+        condition = JoinCondition(ColumnRef("parent", "id"),
+                                  ColumnRef("child", "parent_id"))
+        parent_scan = SeqScan(
+            table=TableRef("parent"),
+            filters=(pred("parent", "id", ComparisonOperator.GT, 1000.0),),
+        )
+        child_scan = SeqScan(table=TableRef("child"))
+        join = HashJoin(condition=condition,
+                        children=[child_scan,
+                                  HashBuild(children=[parent_scan])])
+        root = PlainAggregate(aggregates=count_star(), children=[join])
+        plan = make_plan(root, two_table_db, ("parent", "child"))
+        result = execute_plan(two_table_db, plan)
+        assert result.scalar() == 0
+
+
+class TestAggregates:
+    def test_min_max_sum_avg(self, two_table_db):
+        scan = SeqScan(table=TableRef("child"))
+        aggs = (
+            AggregateSpec(AggregateFunction.MIN, ColumnRef("child", "amount")),
+            AggregateSpec(AggregateFunction.MAX, ColumnRef("child", "amount")),
+            AggregateSpec(AggregateFunction.SUM, ColumnRef("child", "amount")),
+            AggregateSpec(AggregateFunction.AVG, ColumnRef("child", "amount")),
+        )
+        root = PlainAggregate(aggregates=aggs, children=[scan])
+        result = execute_plan(two_table_db, make_plan(root, two_table_db,
+                                                      ("child",)))
+        assert result.scalar(0) == 0.0
+        assert result.scalar(1) == 499.0
+        assert result.scalar(2) == sum(range(500))
+        assert result.scalar(3) == pytest.approx(249.5)
+
+    def test_aggregate_on_empty_input_is_nan(self, two_table_db):
+        scan = SeqScan(
+            table=TableRef("parent"),
+            filters=(pred("parent", "id", ComparisonOperator.GT, 10_000.0),),
+        )
+        root = PlainAggregate(
+            aggregates=(AggregateSpec(AggregateFunction.MIN,
+                                      ColumnRef("parent", "value")),),
+            children=[scan],
+        )
+        result = execute_plan(two_table_db, make_plan(root, two_table_db))
+        assert np.isnan(result.scalar())
+
+    def test_group_by_counts(self, two_table_db):
+        scan = SeqScan(table=TableRef("parent"))
+        root = HashAggregate(
+            group_by=(ColumnRef("parent", "value"),),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT),),
+            children=[scan],
+        )
+        plan = make_plan(root, two_table_db)
+        result = execute_plan(two_table_db, plan)
+        assert root.actual_rows == 10  # values 0..9
+        np.testing.assert_allclose(result.relation.columns["agg0"],
+                                   np.full(10, 10.0))
+
+    def test_group_by_min(self, two_table_db):
+        scan = SeqScan(table=TableRef("parent"))
+        root = HashAggregate(
+            group_by=(ColumnRef("parent", "value"),),
+            aggregates=(AggregateSpec(AggregateFunction.MIN,
+                                      ColumnRef("parent", "id")),),
+            children=[scan],
+        )
+        result = execute_plan(two_table_db, make_plan(root, two_table_db))
+        values = result.relation.columns["parent.value"]
+        minima = result.relation.columns["agg0"]
+        order = np.argsort(values)
+        np.testing.assert_allclose(minima[order], np.arange(10))
+
+    def test_group_by_empty_input(self, two_table_db):
+        scan = SeqScan(
+            table=TableRef("parent"),
+            filters=(pred("parent", "id", ComparisonOperator.GT, 10_000.0),),
+        )
+        root = HashAggregate(
+            group_by=(ColumnRef("parent", "value"),),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT),),
+            children=[scan],
+        )
+        result = execute_plan(two_table_db, make_plan(root, two_table_db))
+        assert root.actual_rows == 0
+
+
+class TestPlanMechanics:
+    def test_wrong_database_rejected(self, two_table_db, tiny_imdb):
+        scan = SeqScan(table=TableRef("parent"))
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        plan = make_plan(root, two_table_db)
+        with pytest.raises(ExecutionError):
+            Executor(tiny_imdb).execute(plan)
+
+    def test_plan_validation_runs(self, two_table_db):
+        bad = HashJoin(condition=None, children=[
+            SeqScan(table=TableRef("parent")),
+            HashBuild(children=[SeqScan(table=TableRef("child"))]),
+        ])
+        with pytest.raises(PlanError):
+            make_plan(bad, two_table_db, ("parent", "child"))
+
+    def test_is_executed_and_reset(self, two_table_db):
+        scan = SeqScan(table=TableRef("parent"))
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        plan = make_plan(root, two_table_db)
+        assert not plan.is_executed
+        execute_plan(two_table_db, plan)
+        assert plan.is_executed
+        plan.reset_actuals()
+        assert not plan.is_executed
+
+    def test_rows_source_selection(self, two_table_db):
+        scan = SeqScan(table=TableRef("parent"))
+        scan.est_rows = 42.0
+        root = PlainAggregate(aggregates=count_star(), children=[scan])
+        plan = make_plan(root, two_table_db)
+        assert scan.rows(use_actual=False) == 42.0
+        with pytest.raises(PlanError):
+            scan.rows(use_actual=True)
+        execute_plan(two_table_db, plan)
+        assert scan.rows(use_actual=True) == 100.0
+
+
+class TestPredicateMask:
+    def test_nulls_never_match(self):
+        values = np.array([1, 2, 3])
+        nulls = np.array([False, True, False])
+        predicate = pred("t", "c", ComparisonOperator.GT, 0.0)
+        mask = predicate_mask(values, nulls, predicate)
+        assert mask.tolist() == [True, False, True]
+
+    def test_in_operator(self):
+        values = np.array([1, 2, 3, 4])
+        predicate = pred("t", "c", ComparisonOperator.IN, (2.0, 4.0))
+        assert predicate_mask(values, None, predicate).tolist() == \
+            [False, True, False, True]
+
+    def test_neq(self):
+        values = np.array([1, 2])
+        predicate = pred("t", "c", ComparisonOperator.NEQ, 1.0)
+        assert predicate_mask(values, None, predicate).tolist() == [False, True]

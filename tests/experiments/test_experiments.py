@@ -1,0 +1,191 @@
+"""Experiment drivers at quick scale: structure and qualitative shape.
+
+These tests assert the *shape* of the paper's results, not absolute
+numbers (quick scale is deliberately small); the benchmark suite runs
+the same drivers at full benchmark scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentScale,
+    build_context,
+    run_fewshot,
+    run_figure3,
+    run_learning_curve,
+    run_table1,
+)
+from repro.experiments.ablations import format_ablations, run_ablations
+from repro.experiments.figure3 import (
+    E2E_NAME,
+    MSCN_NAME,
+    SCALED_COST_NAME,
+    ZERO_SHOT_ESTIMATED,
+    ZERO_SHOT_EXACT,
+    train_workload_driven_baselines,
+)
+from repro.experiments.report import (
+    format_fewshot,
+    format_figure3,
+    format_learning_curve,
+    format_table1,
+)
+from repro.featurize.graph import CardinalitySource
+from repro.workload import BENCHMARK_NAMES
+
+
+@pytest.fixture(scope="module")
+def quick_context():
+    return build_context(ExperimentScale.quick())
+
+
+class TestSetup:
+    def test_context_complete(self, quick_context):
+        scale = quick_context.scale
+        assert len(quick_context.training_databases) == \
+            scale.num_training_databases
+        assert quick_context.corpus.num_queries == \
+            scale.num_training_databases * scale.queries_per_database
+        assert set(quick_context.evaluation_records) == set(BENCHMARK_NAMES)
+        assert len(quick_context.imdb_pool) == scale.pool_size
+        for source in (CardinalitySource.ACTUAL, CardinalitySource.ESTIMATED):
+            assert quick_context.zero_shot_models[source].is_fitted
+
+    def test_imdb_not_in_training_fleet(self, quick_context):
+        names = {db.name for db in quick_context.training_databases}
+        assert "imdb" not in names
+
+    def test_scale_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentScale(num_training_databases=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(training_budgets=())
+
+    def test_scale_presets(self):
+        assert ExperimentScale.paper().num_training_databases == 19
+        assert ExperimentScale.paper().queries_per_database == 5_000
+        assert ExperimentScale.quick().pool_size == 100
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self, quick_context):
+        return run_figure3(context=quick_context)
+
+    def test_all_series_present(self, result, quick_context):
+        assert result.budgets == list(quick_context.scale.training_budgets)
+        for benchmark in BENCHMARK_NAMES:
+            series = result.baseline_series[benchmark]
+            for name in (MSCN_NAME, E2E_NAME, SCALED_COST_NAME):
+                assert len(series[name]) == len(result.budgets)
+                assert all(m >= 1.0 for m in series[name])
+            for label in (ZERO_SHOT_EXACT, ZERO_SHOT_ESTIMATED):
+                assert result.zero_shot_medians[benchmark][label] >= 1.0
+
+    def test_execution_time_grows_with_budget(self, result):
+        hours = result.execution_hours
+        assert all(b > a for a, b in zip(hours, hours[1:]))
+
+    def test_zero_shot_competitive_at_small_budget(self, result):
+        """Sanity of the paper's headline claim at quick scale: the
+        zero-shot model is within a small factor of the workload-driven
+        models at the smallest budget on at least one benchmark.  (The
+        benchmark suite asserts the full shape at proper scale.)"""
+        wins = 0
+        for benchmark in BENCHMARK_NAMES:
+            zero_shot = result.zero_shot_medians[benchmark][ZERO_SHOT_EXACT]
+            small_budget = min(
+                result.baseline_series[benchmark][MSCN_NAME][0],
+                result.baseline_series[benchmark][E2E_NAME][0],
+            )
+            if zero_shot <= small_budget * 2.5:
+                wins += 1
+        assert wins >= 1
+
+    def test_budget_exceeding_pool_rejected(self, quick_context):
+        with pytest.raises(ExperimentError):
+            train_workload_driven_baselines(quick_context, 10**9)
+
+    def test_report_renders(self, result):
+        text = format_figure3(result)
+        assert "Panel: job-light" in text
+        assert "Zero-Shot" in text
+        assert "execution time" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, quick_context):
+        return run_table1(context=quick_context)
+
+    def test_all_rows_present(self, result):
+        assert result.row_names == ("Scale", "Synthetic", "JOB-light", "Index")
+        for row in result.row_names:
+            for source in (CardinalitySource.ACTUAL,
+                           CardinalitySource.ESTIMATED):
+                stats = result.rows[row][source]
+                assert 1.0 <= stats.median <= stats.percentile95 <= stats.maximum
+
+    def test_index_row_has_heavier_tail(self, result):
+        """The paper: the Index (what-if) row's max error exceeds the
+        plain cost-estimation rows'."""
+        index_max = result.rows["Index"][CardinalitySource.ACTUAL].maximum
+        other_medians = [result.rows[r][CardinalitySource.ACTUAL].median
+                         for r in ("Scale", "Synthetic", "JOB-light")]
+        assert index_max > max(other_medians)
+
+    def test_report_renders(self, result):
+        text = format_table1(result)
+        assert "Zero-Shot (Exact Card.)" in text
+        assert "Index" in text
+
+
+class TestLearningCurve:
+    def test_curve_improves(self, quick_context):
+        result = run_learning_curve(context=quick_context)
+        assert result.database_counts[-1] == \
+            quick_context.scale.num_training_databases
+        assert result.median_q_errors[-1] <= result.median_q_errors[0] * 1.3
+        assert result.improvement() > 0
+        assert "Learning curve" in format_learning_curve(result)
+
+    def test_too_many_databases_rejected(self, quick_context):
+        with pytest.raises(ExperimentError):
+            run_learning_curve(context=quick_context,
+                               database_counts=[10**6])
+
+
+class TestFewShot:
+    def test_fewshot_beats_scratch_at_small_budget(self, quick_context):
+        result = run_fewshot(context=quick_context)
+        assert len(result.fewshot_medians) == len(result.budgets)
+        # At the smallest budget, fine-tuning must beat training from
+        # scratch (the paper's few-shot argument).
+        assert result.fewshot_medians[0] <= result.from_scratch_medians[0]
+        assert "few-shot" in format_fewshot(result)
+
+
+class TestResources:
+    def test_resource_targets_predicted(self, quick_context):
+        from repro.experiments.resources import format_resources, run_resources
+        result = run_resources(context=quick_context)
+        assert set(result.stats) == {"runtime", "memory", "io"}
+        for stats in result.stats.values():
+            assert stats.median >= 1.0
+        assert "Resource prediction" in format_resources(result)
+
+
+class TestAblations:
+    def test_ablation_variants(self, quick_context):
+        result = run_ablations(context=quick_context)
+        expected = {"graph (full model)", "graph (estimated cardinalities)",
+                    "flat (no message passing)",
+                    "graph (no cardinality features)"}
+        assert set(result.variants) == expected
+        # Removing cardinality features must hurt: they carry the data
+        # characteristics (separation of concerns, §2.2).
+        assert result.median("graph (no cardinality features)") >= \
+            result.median("graph (full model)") * 0.9
+        assert "Ablations" in format_ablations(result)

@@ -1,0 +1,287 @@
+"""Layers, modules, optimizers, schedules, data helpers, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Adam,
+    BatchIterator,
+    ConstantSchedule,
+    CosineSchedule,
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    StepSchedule,
+    Tensor,
+    clip_grad_norm,
+    load_state,
+    save_state,
+    train_validation_split,
+)
+from repro.nn import functional as F
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, rng())
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, rng(), bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_bad_init_name(self):
+        with pytest.raises(ValueError):
+            Linear(4, 3, rng(), init="nope")
+
+    def test_gradients_flow(self):
+        layer = Linear(4, 1, rng())
+        out = layer(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = MLP(6, [8, 8], 1, rng())
+        out = mlp(Tensor(np.zeros((3, 6))))
+        assert out.shape == (3, 1)
+
+    def test_empty_hidden_is_linear(self):
+        mlp = MLP(6, [], 2, rng())
+        assert len(mlp.body) == 1
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(4, [4], 1, rng(), activation="swish999")
+
+    def test_layer_norm_variant(self):
+        mlp = MLP(4, [8], 1, rng(), layer_norm=True)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(3, 4))))
+        assert out.shape == (3, 1)
+
+    def test_can_fit_linear_function(self):
+        """An MLP trained with Adam should fit y = 2x + 1 closely."""
+        generator = np.random.default_rng(3)
+        x = generator.uniform(-1, 1, size=(256, 1))
+        y = 2.0 * x + 1.0
+        mlp = MLP(1, [16], 1, rng())
+        optimizer = Adam(mlp.parameters(), lr=1e-2)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = F.mse_loss(mlp(Tensor(x)), Tensor(y))
+            loss.backward()
+            optimizer.step()
+        final = F.mse_loss(mlp(Tensor(x)), Tensor(y)).item()
+        assert final < 1e-3
+
+
+class TestDropoutAndNorm:
+    def test_dropout_off_in_eval(self):
+        layer = Dropout(0.5, rng())
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_dropout_scales_in_train(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        out = layer(Tensor(np.ones((1000, 10))))
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (out.data > 0).mean() < 0.6
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng())
+
+    def test_layer_norm_statistics(self):
+        layer = LayerNorm(16)
+        x = Tensor(np.random.default_rng(1).normal(3.0, 5.0, size=(4, 16)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_param():
+        return Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_converges_on_quadratic(self):
+        param = self._quadratic_param()
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = (param * param).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, 0.0, atol=1e-4)
+
+    def test_adam_converges_on_quadratic(self):
+        param = self._quadratic_param()
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(500):
+            optimizer.zero_grad()
+            loss = (param * param).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, 0.0, atol=1e-3)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert abs(param.data[0]) < 1.0
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_clip_grad_norm(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        before = clip_grad_norm([param], max_norm=1.0)
+        assert before == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule(0) == schedule(100) == 0.1
+
+    def test_step(self):
+        schedule = StepSchedule(1.0, step_size=10, gamma=0.5)
+        assert schedule(0) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(25) == 0.25
+
+    def test_cosine_endpoints(self):
+        schedule = CosineSchedule(1.0, total_epochs=100, lr_min=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(50) == pytest.approx(0.55)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ValueError):
+            StepSchedule(1.0, step_size=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(1.0, total_epochs=0)
+
+
+class TestDataHelpers:
+    def test_batch_iterator_covers_all(self):
+        items = list(range(10))
+        batches = list(BatchIterator(items, batch_size=3))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        assert sorted(x for b in batches for x in b) == items
+
+    def test_batch_iterator_shuffles(self):
+        items = list(range(100))
+        flat = [x for b in BatchIterator(items, 10, rng=np.random.default_rng(0)) for x in b]
+        assert flat != items
+        assert sorted(flat) == items
+
+    def test_batch_iterator_len(self):
+        assert len(BatchIterator(list(range(10)), 4)) == 3
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            BatchIterator([1], 0)
+
+    def test_split_fractions(self):
+        train, val = train_validation_split(list(range(100)), 0.2, np.random.default_rng(0))
+        assert len(val) == 20
+        assert len(train) == 80
+        assert sorted(train + val) == list(range(100))
+
+    def test_split_zero_fraction(self):
+        train, val = train_validation_split([1, 2, 3], 0.0, np.random.default_rng(0))
+        assert val == []
+        assert sorted(train) == [1, 2, 3]
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            train_validation_split([1], 1.0, np.random.default_rng(0))
+
+
+class TestModuleMechanics:
+    def test_named_parameters_nested(self):
+        model = Sequential(Linear(2, 3, rng()), Linear(3, 1, rng()))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layer0.weight" in names
+        assert "layer1.bias" in names
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3, rng())
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        model = MLP(4, [8], 1, rng())
+        reference = model(Tensor(np.ones((2, 4)))).data.copy()
+        path = tmp_path / "weights.npz"
+        save_state(model, path)
+        other = MLP(4, [8], 1, np.random.default_rng(99))
+        load_state(other, path)
+        np.testing.assert_allclose(other(Tensor(np.ones((2, 4)))).data, reference)
+
+    def test_load_state_dict_mismatch(self):
+        a = Linear(2, 2, rng())
+        b = Linear(3, 2, rng())
+        with pytest.raises((KeyError, ValueError)):
+            a.load_state_dict({"nope": np.zeros(1)})
+        with pytest.raises(ValueError):
+            a.load_state_dict({"weight": np.zeros((3, 2)), "bias": np.zeros(2)})
+        del b
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5, rng()))
+        model.eval()
+        assert not next(iter(model)).training
+        model.train()
+        assert next(iter(model)).training
+
+
+class TestLosses:
+    def test_mse(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_mae(self):
+        loss = F.mae_loss(Tensor([1.0, -2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(1.5)
+
+    def test_q_loss_is_symmetric(self):
+        a = Tensor([1.0])
+        b = Tensor([3.0])
+        assert F.q_loss(a, b).item() == pytest.approx(F.q_loss(b, a).item())
+
+    def test_huber_quadratic_near_zero(self):
+        small = F.huber_loss(Tensor([0.01]), Tensor([0.0])).item()
+        assert small == pytest.approx(0.5 * 0.01 ** 2, rel=1e-2)
+
+    def test_softplus_positive(self):
+        out = F.softplus(Tensor([-100.0, 0.0, 100.0]))
+        assert (out.data >= 0).all()
+        assert out.data[2] == pytest.approx(100.0, rel=1e-6)

@@ -1,0 +1,246 @@
+"""Autograd correctness: analytic gradients vs central finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numerical_gradient(fn, array, eps=1e-6):
+    """Central finite-difference gradient of scalar fn wrt array."""
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn()
+        flat[i] = original - eps
+        down = fn()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, arrays, atol=1e-5):
+    """build(tensors) -> scalar Tensor; arrays are numpy inputs."""
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = build(tensors)
+    out.backward()
+    for tensor in tensors:
+        # finite differences mutate tensor.data in place
+        num = numerical_gradient(lambda: _eval(build, tensors), tensor.data)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, num, atol=atol, rtol=1e-4)
+
+
+def _eval(build, tensors):
+    with no_grad():
+        return build(tensors).item()
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestElementaryOps:
+    def test_add_broadcast(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4,))
+        check_gradient(lambda ts: (ts[0] + ts[1]).sum(), [a, b])
+
+    def test_mul_broadcast(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 1))
+        check_gradient(lambda ts: (ts[0] * ts[1]).sum(), [a, b])
+
+    def test_sub_and_neg(self):
+        a = RNG.normal(size=(5,))
+        b = RNG.normal(size=(5,))
+        check_gradient(lambda ts: (ts[0] - ts[1]).sum(), [a, b])
+
+    def test_div(self):
+        a = RNG.normal(size=(4,))
+        b = RNG.uniform(1.0, 2.0, size=(4,))
+        check_gradient(lambda ts: (ts[0] / ts[1]).sum(), [a, b])
+
+    def test_pow(self):
+        a = RNG.uniform(0.5, 2.0, size=(4,))
+        check_gradient(lambda ts: (ts[0] ** 3).sum(), [a])
+
+    def test_matmul(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 2))
+        check_gradient(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_scalar_rsub_rdiv(self):
+        a = RNG.uniform(1.0, 2.0, size=(3,))
+        check_gradient(lambda ts: (1.0 - ts[0]).sum(), [a])
+        check_gradient(lambda ts: (1.0 / ts[0]).sum(), [a])
+
+
+class TestNonlinearities:
+    def test_exp_log(self):
+        a = RNG.uniform(0.5, 1.5, size=(6,))
+        check_gradient(lambda ts: ts[0].exp().sum(), [a])
+        check_gradient(lambda ts: ts[0].log().sum(), [a])
+
+    def test_relu(self):
+        a = RNG.normal(size=(10,)) + 0.05  # avoid kink at 0
+        check_gradient(lambda ts: ts[0].relu().sum(), [a])
+
+    def test_leaky_relu(self):
+        a = RNG.normal(size=(10,)) + 0.05
+        check_gradient(lambda ts: ts[0].leaky_relu(0.1).sum(), [a])
+
+    def test_sigmoid_tanh(self):
+        a = RNG.normal(size=(6,))
+        check_gradient(lambda ts: ts[0].sigmoid().sum(), [a])
+        check_gradient(lambda ts: ts[0].tanh().sum(), [a])
+
+    def test_abs(self):
+        a = RNG.normal(size=(8,)) + 0.1
+        check_gradient(lambda ts: ts[0].abs().sum(), [a])
+
+    def test_clip(self):
+        a = np.array([-2.0, -0.5, 0.5, 2.0])
+        check_gradient(lambda ts: ts[0].clip(-1.0, 1.0).sum(), [a])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda ts: (ts[0].sum(axis=0) ** 2).sum(), [a])
+
+    def test_mean(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda ts: (ts[0].mean(axis=1) ** 2).sum(), [a])
+
+    def test_mean_keepdims(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda ts: (ts[0] - ts[0].mean(axis=1, keepdims=True)).abs().sum(), [a])
+
+    def test_reshape_transpose(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradient(lambda ts: (ts[0].reshape(4, 3).T ** 2).sum(), [a])
+
+    def test_getitem(self):
+        a = RNG.normal(size=(5, 3))
+        check_gradient(lambda ts: (ts[0][1:4] ** 2).sum(), [a])
+
+    def test_index_select_with_duplicates(self):
+        a = RNG.normal(size=(4, 3))
+        idx = np.array([0, 0, 2, 3, 3, 3])
+        check_gradient(lambda ts: (ts[0].index_select(idx) ** 2).sum(), [a])
+
+    def test_concat(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(4, 3))
+        check_gradient(lambda ts: (Tensor.concat([ts[0], ts[1]], axis=0) ** 2).sum(), [a, b])
+
+    def test_concat_axis1(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 2))
+        check_gradient(lambda ts: (Tensor.concat([ts[0], ts[1]], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self):
+        a = RNG.normal(size=(3,))
+        b = RNG.normal(size=(3,))
+        check_gradient(lambda ts: (Tensor.stack([ts[0], ts[1]]) ** 2).sum(), [a, b])
+
+    def test_scatter_add(self):
+        a = RNG.normal(size=(6, 2))
+        idx = np.array([0, 1, 1, 2, 2, 2])
+        check_gradient(lambda ts: (ts[0].scatter_add(idx, 3) ** 2).sum(), [a])
+
+    def test_max(self):
+        a = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])
+        check_gradient(lambda ts: ts[0].max(axis=1).sum(), [a])
+
+
+class TestGraphMechanics:
+    def test_reused_tensor_accumulates(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a  # dy/da = 2a + 1 = 5
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2.0
+        c = a * 3.0
+        out = (b + c).sum()  # d/da = 5
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_deep_chain(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        x = a
+        for _ in range(200):
+            x = x + 1.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_no_grad_blocks_recording(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_zero_grad(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_detach(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data
+
+    def test_dtype_coercion(self):
+        t = Tensor(np.array([1, 2, 3], dtype=np.int32))
+        assert t.data.dtype == np.float64
+
+    def test_scatter_add_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones((3, 2))).scatter_add(np.array([0, 1]), 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=6),
+    cols=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_sum_then_broadcast_roundtrip(rows, cols, seed):
+    """Property: grad of (x + b).sum() wrt b equals the row count."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(rows, cols)))
+    b = Tensor(rng.normal(size=(cols,)), requires_grad=True)
+    (x + b).sum().backward()
+    np.testing.assert_allclose(b.grad, np.full(cols, rows))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    buckets=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_scatter_add_preserves_total(n, buckets, seed):
+    """Property: scatter_add preserves the column sums."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    idx = rng.integers(0, buckets, size=n)
+    out = Tensor(x).scatter_add(idx, buckets)
+    np.testing.assert_allclose(out.data.sum(axis=0), x.sum(axis=0), atol=1e-9)

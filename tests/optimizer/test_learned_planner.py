@@ -1,0 +1,62 @@
+"""Zero-shot plan selection (§4.2): candidate generation and choice."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.featurize import CardinalitySource
+from repro.models import TrainerConfig, ZeroShotConfig, ZeroShotCostModel
+from repro.optimizer.learned_planner import (
+    ZeroShotPlanSelector,
+    candidate_plans,
+)
+from repro.sql import parse_query
+
+from tests.models.conftest import build_labelled_graphs
+
+
+JOIN_QUERY = ("SELECT COUNT(*) FROM title t, cast_info ci "
+              "WHERE t.id = ci.movie_id AND t.production_year > 2000")
+
+
+class TestCandidateGeneration:
+    def test_candidates_are_distinct_plans(self, tiny_imdb):
+        plans = candidate_plans(tiny_imdb, parse_query(JOIN_QUERY))
+        assert len(plans) >= 2
+        labels = {tuple(n.label() for n in p.nodes()) for p in plans}
+        assert len(labels) == len(plans)  # de-duplicated
+
+    def test_first_candidate_is_classical_optimum(self, tiny_imdb):
+        from repro.optimizer import plan_query
+        plans = candidate_plans(tiny_imdb, parse_query(JOIN_QUERY))
+        classical = plan_query(tiny_imdb, parse_query(JOIN_QUERY))
+        assert [n.label() for n in plans[0].nodes()] == \
+            [n.label() for n in classical.nodes()]
+
+    def test_single_table_query(self, tiny_imdb):
+        plans = candidate_plans(
+            tiny_imdb, parse_query("SELECT COUNT(*) FROM title t "
+                                   "WHERE t.id < 100"))
+        assert len(plans) >= 1
+
+
+class TestSelector:
+    @pytest.fixture(scope="class")
+    def model(self, tiny_imdb):
+        graphs = build_labelled_graphs([tiny_imdb], 50,
+                                       CardinalitySource.ESTIMATED, seed=5)
+        model = ZeroShotCostModel(ZeroShotConfig(hidden_dim=32, seed=0))
+        model.fit(graphs, TrainerConfig(epochs=25, batch_size=32,
+                                        early_stopping_patience=25))
+        return model
+
+    def test_choice_structure(self, tiny_imdb, model):
+        selector = ZeroShotPlanSelector(tiny_imdb, model)
+        choice = selector.choose(parse_query(JOIN_QUERY))
+        assert choice.num_candidates >= 2
+        assert choice.predicted_seconds > 0
+        assert len(choice.predictions) == choice.num_candidates
+        assert choice.predicted_seconds == min(choice.predictions)
+
+    def test_unfitted_model_rejected(self, tiny_imdb):
+        with pytest.raises(ModelError):
+            ZeroShotPlanSelector(tiny_imdb, ZeroShotCostModel())

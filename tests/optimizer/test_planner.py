@@ -1,0 +1,220 @@
+"""Planner: plan validity, operator selection, estimates, what-if."""
+
+import pytest
+
+from repro.engine import execute_plan
+from repro.errors import OptimizerError, QueryError
+from repro.optimizer import CardinalityEstimator, plan_query
+from repro.optimizer.join_order import connected_subsets, enumerate_join_orders
+from repro.optimizer.planner import Planner, PlannerOptions
+from repro.optimizer.whatif import IndexSpec, WhatIfPlanner
+from repro.plans import (
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalPlan,
+    PlainAggregate,
+    SeqScan,
+    walk_plan,
+)
+from repro.sql import parse_query
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestSingleTablePlans:
+    def test_seq_scan_plan(self, tiny_imdb):
+        plan = plan_query(tiny_imdb, q("SELECT COUNT(*) FROM title t"))
+        assert isinstance(plan.root, PlainAggregate)
+        assert isinstance(plan.root.children[0], SeqScan)
+        assert plan.total_cost > 0
+
+    def test_index_scan_chosen_for_selective_pk_lookup(self, tiny_imdb):
+        plan = plan_query(tiny_imdb,
+                          q("SELECT COUNT(*) FROM title t WHERE t.id = 5"))
+        scan = plan.root.children[0]
+        assert isinstance(scan, IndexScan)
+        assert scan.index_name == "title_pkey"
+
+    def test_seq_scan_chosen_for_unselective_predicate(self, tiny_imdb):
+        plan = plan_query(
+            tiny_imdb, q("SELECT COUNT(*) FROM title t WHERE t.id >= 0"))
+        assert isinstance(plan.root.children[0], SeqScan)
+
+    def test_estimates_annotated_everywhere(self, tiny_imdb):
+        plan = plan_query(
+            tiny_imdb,
+            q("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000"),
+        )
+        for node in plan.nodes():
+            assert node.est_rows >= 1.0 or isinstance(node, PlainAggregate)
+            assert node.est_width > 0
+
+    def test_group_by_plan(self, tiny_imdb):
+        plan = plan_query(
+            tiny_imdb,
+            q("SELECT t.kind_id, COUNT(*) FROM title t GROUP BY t.kind_id"),
+        )
+        assert plan.root.operator_name == "HashAggregate"
+        result = execute_plan(tiny_imdb, plan)
+        assert plan.root.actual_rows <= 6  # kind_id has 6 categories
+        del result
+
+
+class TestJoinPlans:
+    def test_two_way_join_correct(self, tiny_imdb):
+        plan = plan_query(tiny_imdb, q(
+            "SELECT COUNT(*) FROM title t, movie_companies mc "
+            "WHERE t.id = mc.movie_id"
+        ))
+        result = execute_plan(tiny_imdb, plan)
+        assert result.scalar() == tiny_imdb.num_rows("movie_companies")
+
+    def test_five_way_join_plans_and_executes(self, tiny_imdb):
+        plan = plan_query(tiny_imdb, q(
+            "SELECT COUNT(*) FROM title t, movie_companies mc, movie_info mi, "
+            "movie_keyword mk, cast_info ci "
+            "WHERE t.id = mc.movie_id AND t.id = mi.movie_id "
+            "AND t.id = mk.movie_id AND t.id = ci.movie_id "
+            "AND t.production_year > 2010 AND mc.company_type_id = 1"
+        ))
+        result = execute_plan(tiny_imdb, plan)
+        assert result.scalar() >= 0
+        join_ops = [n for n in plan.nodes()
+                    if isinstance(n, (HashJoin, MergeJoin, NestedLoopJoin))]
+        assert len(join_ops) == 4
+
+    def test_join_order_independent_of_result(self, tiny_imdb):
+        """All join strategies must agree on the query result."""
+        text = ("SELECT COUNT(*) FROM title t, cast_info ci "
+                "WHERE t.id = ci.movie_id AND t.production_year > 2005")
+        results = set()
+        for options in [
+            PlannerOptions(enable_hashjoin=False, enable_mergejoin=False),
+            PlannerOptions(enable_hashjoin=False, enable_nestloop=False),
+            PlannerOptions(enable_mergejoin=False, enable_nestloop=False),
+        ]:
+            plan = plan_query(tiny_imdb, q(text), options)
+            results.add(execute_plan(tiny_imdb, plan).scalar())
+        assert len(results) == 1
+
+    def test_cross_product_rejected(self, tiny_imdb):
+        with pytest.raises(QueryError):
+            plan_query(tiny_imdb, q(
+                "SELECT COUNT(*) FROM title t, movie_companies mc"
+            ))
+
+    def test_all_scans_disabled(self, tiny_imdb):
+        options = PlannerOptions(enable_seqscan=False, enable_indexscan=False)
+        with pytest.raises(OptimizerError):
+            plan_query(tiny_imdb, q(
+                "SELECT COUNT(*) FROM title t WHERE t.production_year > 2000"
+            ), options)
+
+    def test_estimation_error_grows_with_correlation(self, tiny_imdb):
+        """Estimated cardinalities deviate from actuals under the injected
+        year<->votes correlation (conjunctive predicates)."""
+        plan = plan_query(tiny_imdb, q(
+            "SELECT COUNT(*) FROM title t "
+            "WHERE t.production_year > 2010 AND t.votes > 1000"
+        ))
+        execute_plan(tiny_imdb, plan)
+        scan = plan.root.children[0]
+        actual = max(scan.actual_rows, 1)
+        qerr = max(scan.est_rows / actual, actual / scan.est_rows)
+        assert qerr > 1.05  # the independence assumption is visibly wrong
+
+
+class TestJoinEnumeration:
+    def test_connected_subsets_of_chain(self, tiny_imdb):
+        query = q("SELECT COUNT(*) FROM title t, movie_companies mc, "
+                  "cast_info ci WHERE t.id = mc.movie_id AND t.id = ci.movie_id")
+        subsets = connected_subsets(query)
+        # star around t: {t},{mc},{ci},{t,mc},{t,ci},{t,mc,ci} (not {mc,ci})
+        assert len(subsets) == 6
+        assert frozenset({"mc", "ci"}) not in subsets
+
+    def test_enumeration_visits_all_tables(self, tiny_imdb):
+        query = q("SELECT COUNT(*) FROM title t, movie_companies mc "
+                  "WHERE t.id = mc.movie_id")
+        best = enumerate_join_orders(
+            query,
+            leaf_factory=lambda alias: (frozenset({alias}), 0.0),
+            combine=lambda l, r, la, ra: (l[0] | r[0], l[1] + r[1] + 1.0),
+            better=lambda a, b: a[1] < b[1],
+        )
+        assert best[0] == frozenset({"t", "mc"})
+
+
+class TestWhatIf:
+    def test_hypothetical_index_changes_plan(self, tiny_imdb):
+        planner = WhatIfPlanner(tiny_imdb)
+        text = ("SELECT COUNT(*) FROM title t "
+                "WHERE t.votes > 2000000 AND t.production_year > 2000")
+        baseline = planner.plan_without_indexes(q(text))
+        whatif = planner.plan_with_indexes(q(text), [IndexSpec("title", "votes")])
+        assert isinstance(baseline.root.children[0], SeqScan)
+        scan = whatif.root.children[0]
+        assert isinstance(scan, IndexScan)
+        assert scan.index_column == "votes"
+        assert planner.uses_hypothetical_index(whatif) or \
+            "whatif" in scan.index_name
+
+    def test_hypothetical_indexes_cleaned_up(self, tiny_imdb):
+        planner = WhatIfPlanner(tiny_imdb)
+        before = set(tiny_imdb.indexes)
+        planner.plan_with_indexes(
+            q("SELECT COUNT(*) FROM title t WHERE t.votes > 100000"),
+            [IndexSpec("title", "votes")],
+        )
+        assert set(tiny_imdb.indexes) == before
+
+    def test_whatif_cost_cheaper_for_selective_query(self, tiny_imdb):
+        planner = WhatIfPlanner(tiny_imdb)
+        text = "SELECT COUNT(*) FROM title t WHERE t.votes > 2000000"
+        baseline = planner.plan_without_indexes(q(text))
+        whatif = planner.plan_with_indexes(q(text),
+                                           [IndexSpec("title", "votes")])
+        assert whatif.total_cost < baseline.total_cost
+
+
+class TestCardinalityEstimator:
+    def test_fk_join_cardinality(self, tiny_imdb):
+        query = q("SELECT COUNT(*) FROM title t, movie_companies mc "
+                  "WHERE t.id = mc.movie_id")
+        estimator = CardinalityEstimator(tiny_imdb)
+        estimated = estimator.joined_rows(query, frozenset({"t", "mc"}))
+        actual = tiny_imdb.num_rows("movie_companies")
+        assert estimated == pytest.approx(actual, rel=0.4)
+
+    def test_unknown_alias_rejected(self, tiny_imdb):
+        query = q("SELECT COUNT(*) FROM title t")
+        estimator = CardinalityEstimator(tiny_imdb)
+        with pytest.raises(OptimizerError):
+            estimator.joined_rows(query, frozenset({"ghost"}))
+
+    def test_scan_rows_at_least_one(self, tiny_imdb):
+        query = q("SELECT COUNT(*) FROM title t WHERE t.production_year = 1800")
+        estimator = CardinalityEstimator(tiny_imdb)
+        assert estimator.scan_rows(query, "t") >= 1.0
+
+
+class TestPlanStructure:
+    def test_all_plans_validate(self, tiny_imdb):
+        texts = [
+            "SELECT COUNT(*) FROM title t WHERE t.id < 100",
+            "SELECT MIN(t.rating), MAX(t.votes) FROM title t, movie_info mi "
+            "WHERE t.id = mi.movie_id AND mi.info_type_id = 3",
+            "SELECT COUNT(*) FROM title t, movie_keyword mk, cast_info ci "
+            "WHERE t.id = mk.movie_id AND t.id = ci.movie_id "
+            "AND t.production_year > 2000 AND ci.role_id IN (1, 2)",
+        ]
+        for text in texts:
+            plan = plan_query(tiny_imdb, q(text))
+            assert isinstance(plan, PhysicalPlan)
+            assert all(node is not None for node in walk_plan(plan.root))
+            execute_plan(tiny_imdb, plan)
+            assert plan.is_executed

@@ -1,0 +1,121 @@
+"""Zero-shot what-if estimation and the greedy index advisor."""
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticDatabaseSpec, generate_database, make_imdb_database
+from repro.errors import ModelError
+from repro.featurize import CardinalitySource
+from repro.models import TrainerConfig, ZeroShotConfig, ZeroShotCostModel
+from repro.optimizer.whatif import IndexSpec
+from repro.sql import parse_query
+from repro.tuning import IndexAdvisor, ZeroShotWhatIfEstimator
+from repro.workload import collect_training_corpus
+
+from tests.models.conftest import build_labelled_graphs
+
+
+@pytest.fixture(scope="module")
+def whatif_model():
+    """A zero-shot model trained on synthetic DBs *with* random indexes,
+    so it has seen index scans (the §4.1 training recipe)."""
+    databases = [
+        generate_database(SyntheticDatabaseSpec(
+            name=f"w{i}", seed=300 + i, num_tables=3 + (i % 2),
+            min_rows=500, max_rows=4_000,
+        ))
+        for i in range(3)
+    ]
+    corpus = collect_training_corpus(databases, 60, seed=3,
+                                     random_indexes_per_database=2)
+    graphs = corpus.featurize(CardinalitySource.ESTIMATED)
+    model = ZeroShotCostModel(ZeroShotConfig(hidden_dim=32, seed=0))
+    model.fit(graphs, TrainerConfig(epochs=40, batch_size=32,
+                                    early_stopping_patience=40))
+    return model
+
+
+@pytest.fixture(scope="module")
+def target_db():
+    return make_imdb_database(scale=0.04, seed=21)
+
+
+WORKLOAD = [
+    "SELECT COUNT(*) FROM title t WHERE t.votes > 1000000",
+    "SELECT COUNT(*) FROM title t WHERE t.votes > 500000 "
+    "AND t.production_year > 2015",
+    "SELECT MIN(t.production_year) FROM title t, movie_companies mc "
+    "WHERE t.id = mc.movie_id AND mc.company_type_id = 3",
+]
+
+
+class TestWhatIfEstimator:
+    def test_estimates_positive(self, target_db, whatif_model):
+        estimator = ZeroShotWhatIfEstimator(target_db, whatif_model)
+        for text in WORKLOAD:
+            runtime = estimator.estimate_runtime(parse_query(text))
+            assert runtime > 0
+
+    def test_whatif_differs_from_baseline(self, target_db, whatif_model):
+        estimator = ZeroShotWhatIfEstimator(target_db, whatif_model)
+        query = parse_query(WORKLOAD[0])
+        baseline = estimator.estimate_runtime(query)
+        with_index = estimator.estimate_runtime(
+            query, [IndexSpec("title", "votes")]
+        )
+        assert with_index != baseline
+
+    def test_no_leftover_hypothetical_indexes(self, target_db, whatif_model):
+        estimator = ZeroShotWhatIfEstimator(target_db, whatif_model)
+        before = set(target_db.indexes)
+        estimator.estimate_runtime(parse_query(WORKLOAD[0]),
+                                   [IndexSpec("title", "votes")])
+        assert set(target_db.indexes) == before
+
+    def test_unfitted_model_rejected(self, target_db):
+        with pytest.raises(ModelError):
+            ZeroShotWhatIfEstimator(target_db, ZeroShotCostModel())
+
+    def test_empty_workload_rejected(self, target_db, whatif_model):
+        estimator = ZeroShotWhatIfEstimator(target_db, whatif_model)
+        with pytest.raises(ModelError):
+            estimator.estimate_workload([])
+
+
+class TestAdvisor:
+    def test_candidates_cover_predicates_and_joins(self, target_db,
+                                                   whatif_model):
+        advisor = IndexAdvisor(target_db, whatif_model)
+        queries = [parse_query(t) for t in WORKLOAD]
+        candidates = advisor.candidate_indexes(queries)
+        keys = {(c.table_name, c.column_name) for c in candidates}
+        assert ("title", "votes") in keys
+        assert ("title", "production_year") in keys
+        # Columns that already carry a real index (PKs, FK movie_id
+        # indexes) must not be candidates.
+        assert ("title", "id") not in keys
+        assert ("movie_companies", "movie_id") not in keys
+
+    def test_recommendation_structure(self, target_db, whatif_model):
+        advisor = IndexAdvisor(target_db, whatif_model)
+        queries = [parse_query(t) for t in WORKLOAD]
+        recommendation = advisor.recommend(queries, max_indexes=2)
+        assert len(recommendation.indexes) <= 2
+        assert recommendation.baseline_seconds > 0
+        assert recommendation.predicted_seconds <= \
+            recommendation.baseline_seconds + 1e-12
+        assert recommendation.predicted_speedup >= 1.0
+
+    def test_no_leftover_indexes_after_recommend(self, target_db,
+                                                 whatif_model):
+        advisor = IndexAdvisor(target_db, whatif_model)
+        before = set(target_db.indexes)
+        advisor.recommend([parse_query(t) for t in WORKLOAD], max_indexes=1)
+        assert set(target_db.indexes) == before
+
+    def test_validation(self, target_db, whatif_model):
+        advisor = IndexAdvisor(target_db, whatif_model)
+        with pytest.raises(ModelError):
+            advisor.recommend([])
+        with pytest.raises(ModelError):
+            advisor.recommend([parse_query(WORKLOAD[0])], max_indexes=0)
