@@ -3,13 +3,24 @@
 These are conventional pytest-benchmark measurements (multiple rounds)
 of the pieces a user of the library cares about: planning latency,
 execution throughput, featurization, model inference and one training
-epoch.
+epoch — plus the join-kernel microbenchmarks that establish the
+executor's performance trajectory (hash/merge/nested-loop kernels vs
+the historical sort-based kernel).
 """
+
+import time
 
 import numpy as np
 import pytest
 
-from repro.engine import Executor
+from repro.engine import (
+    Executor,
+    JoinHashTable,
+    block_nested_loop_match,
+    hash_join_match,
+    merge_join_match,
+    sort_merge_match,
+)
 from repro.featurize.batch import batch_graphs
 from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
 from repro.nn import Tensor, no_grad
@@ -38,6 +49,81 @@ def executed_plans(imdb, queries):
         executor.execute(plan)
         plans.append(plan)
     return plans
+
+
+# ----------------------------------------------------------------------
+# Join-kernel microbenchmarks
+#
+# Key shapes mirror a FK→PK join at the default IMDB scale (title ≈ 25k
+# rows on the build side, cast_info ≈ 60k skewed FK rows probing it).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def join_keys():
+    rng = np.random.default_rng(17)
+    build = rng.permutation(25_000).astype(np.int64)
+    probe = rng.integers(0, 25_000, 60_000, dtype=np.int64)
+    return probe, build
+
+
+def test_hash_join_kernel(benchmark, join_keys):
+    probe, build = join_keys
+    left, right = benchmark(hash_join_match, probe, build)
+    assert len(left) == len(probe)
+    assert len(right) == len(probe)
+
+
+def test_sort_merge_reference_kernel(benchmark, join_keys):
+    """The historical sort-based kernel, kept as the perf baseline."""
+    probe, build = join_keys
+    left, _ = benchmark(sort_merge_match, probe, build)
+    assert len(left) == len(probe)
+
+
+def test_merge_join_kernel(benchmark, join_keys):
+    probe, build = join_keys
+    sorted_build = np.sort(build)
+    left, _ = benchmark(merge_join_match, probe, sorted_build)
+    assert len(left) == len(probe)
+
+
+def test_block_nested_loop_kernel(benchmark):
+    rng = np.random.default_rng(23)
+    outer = rng.integers(0, 1_000, 2_000, dtype=np.int64)
+    inner = rng.integers(0, 1_000, 2_000, dtype=np.int64)
+    left, right = benchmark(block_nested_loop_match, outer, inner)
+    assert len(left) == len(right) > 0
+
+
+def test_hash_table_reuse(benchmark, join_keys):
+    """Probe-only throughput: what the build-side cache saves per query."""
+    probe, build = join_keys
+    table = JoinHashTable.build(build)
+    left, _ = benchmark(table.probe, probe)
+    assert len(left) == len(probe)
+
+
+def test_hash_join_kernel_speedup(join_keys):
+    """Acceptance gate: hash kernel ≥3× the sort kernel, same results."""
+    probe, build = join_keys
+    expected = sort_merge_match(probe, build)
+    actual = hash_join_match(probe, build)
+    np.testing.assert_array_equal(expected[0], actual[0])
+    np.testing.assert_array_equal(expected[1], actual[1])
+
+    # Interleave rounds so a load spike hits both kernels alike.
+    best = {sort_merge_match: float("inf"), hash_join_match: float("inf")}
+    for _ in range(11):
+        for kernel in (sort_merge_match, hash_join_match):
+            start = time.perf_counter()
+            kernel(probe, build)
+            best[kernel] = min(best[kernel], time.perf_counter() - start)
+    sort_seconds = best[sort_merge_match]
+    hash_seconds = best[hash_join_match]
+    speedup = sort_seconds / hash_seconds
+    assert speedup >= 3.0, (
+        f"hash kernel only {speedup:.2f}x faster than the sort kernel "
+        f"({sort_seconds * 1e3:.2f} ms vs {hash_seconds * 1e3:.2f} ms)"
+    )
 
 
 def test_planner_latency(benchmark, imdb, queries):

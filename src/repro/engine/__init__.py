@@ -4,9 +4,47 @@ Substitutes for the Postgres executor in the paper's testbed: it runs
 every physical plan over the columnar data and reports true per-operator
 cardinalities (the "exact cardinalities" input of the zero-shot model)
 plus the query result itself.
+
+Execution is organised as per-operator vectorized kernels dispatched
+through registries (:mod:`repro.engine.join_kernels` for join matching,
+``Executor._HANDLERS`` for whole operators), so new operators or
+alternative join algorithms plug in without touching the executor core.
 """
 
-from repro.engine.executor import ExecutionResult, Executor, execute_plan
+from repro.engine.executor import (
+    BuildSideCache,
+    ExecutionResult,
+    Executor,
+    execute_plan,
+    register_operator_handler,
+)
 from repro.engine.expressions import predicate_mask
+from repro.engine.join_kernels import (
+    JoinHashTable,
+    block_nested_loop_match,
+    hash_join_match,
+    join_kernel_for,
+    merge_join_match,
+    register_join_kernel,
+    registered_join_kernels,
+    reset_join_kernels,
+    sort_merge_match,
+)
 
-__all__ = ["ExecutionResult", "Executor", "execute_plan", "predicate_mask"]
+__all__ = [
+    "BuildSideCache",
+    "ExecutionResult",
+    "Executor",
+    "JoinHashTable",
+    "block_nested_loop_match",
+    "execute_plan",
+    "hash_join_match",
+    "join_kernel_for",
+    "merge_join_match",
+    "predicate_mask",
+    "register_join_kernel",
+    "register_operator_handler",
+    "registered_join_kernels",
+    "reset_join_kernels",
+    "sort_merge_match",
+]

@@ -5,20 +5,36 @@ intermediate :class:`Relation` per node and annotating each node's
 ``actual_rows`` — exactly the information ``EXPLAIN ANALYZE`` yields in
 the paper's training-data collection.
 
-All join operators use the same sort-based matching kernel; they differ
-only in the *runtime cost* the simulator later charges, not in their
-results (joins are joins).
+Operators are dispatched through a class-level operator→handler table
+(see ``Executor._HANDLERS`` and :func:`register_operator_handler`), and
+each join operator runs the *algorithm its name promises* via the
+kernel registry in :mod:`repro.engine.join_kernels`: hash joins
+build/probe bucket arrays, merge joins exploit their sorted inputs,
+nested-loop joins compare blockwise.  All kernels produce row-identical
+results; they differ in speed, which is what the runtime simulator's
+per-operator cost models mirror.
+
+A :class:`BuildSideCache` can be shared by many queries against the
+same database to memoize hash-join build sides (relation + built hash
+table), the batched-collection fast path the workload runner uses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Callable
 
 import numpy as np
 
 from repro.db.database import Database
 from repro.db.table_data import TableData
 from repro.engine.expressions import conjunction_mask, predicate_mask
+from repro.engine.join_kernels import (
+    JoinHashTable,
+    hash_join_match,
+    join_kernel_for,
+)
 from repro.errors import ExecutionError
 from repro.plans.operators import (
     HashAggregate,
@@ -35,7 +51,14 @@ from repro.plans.operators import (
 from repro.plans.plan import PhysicalPlan
 from repro.sql.ast import AggregateFunction, AggregateSpec, ColumnRef, Predicate
 
-__all__ = ["Relation", "ExecutionResult", "Executor", "execute_plan"]
+__all__ = [
+    "BuildSideCache",
+    "ExecutionResult",
+    "Executor",
+    "Relation",
+    "execute_plan",
+    "register_operator_handler",
+]
 
 
 @dataclass
@@ -99,29 +122,133 @@ class ExecutionResult:
         return float(self.relation.columns[keys[index]][0])
 
 
-def _join_match_indices(left_keys: np.ndarray,
-                        right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """All (left_row, right_row) index pairs with equal keys.
+def _subtree_signature(node: PlanNode) -> tuple:
+    """A structural fingerprint of an executable subtree.
 
-    Sort-based: sort the right side once, then binary-search every left
-    key and expand duplicate ranges.  Equivalent output for hash, merge
-    and nested-loop joins.
+    Two subtrees with equal signatures produce identical relations when
+    executed against the same (unmodified) database, which is what makes
+    build-side memoization sound.  Estimates and actuals are excluded;
+    everything semantically relevant (operator types, tables, filters,
+    keys, index names) is captured via the operators' dataclass fields.
     """
-    order = np.argsort(right_keys, kind="stable")
-    sorted_right = right_keys[order]
-    starts = np.searchsorted(sorted_right, left_keys, side="left")
-    stops = np.searchsorted(sorted_right, left_keys, side="right")
-    counts = stops - starts
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy()
-    left_indices = np.repeat(np.arange(len(left_keys)), counts)
-    # For each left row, enumerate its matched right positions.
-    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
-    within = np.arange(total) - np.repeat(offsets, counts)
-    right_positions = np.repeat(starts, counts) + within
-    return left_indices, order[right_positions]
+    skip = {"children", "est_rows", "est_width", "est_cost", "actual_rows"}
+    params = tuple(
+        (f.name, repr(getattr(node, f.name)))
+        for f in dataclass_fields(node) if f.name not in skip
+    )
+    return (type(node).__name__, params,
+            tuple(_subtree_signature(child) for child in node.children))
+
+
+def _collect_actuals(node: PlanNode) -> tuple[int | None, ...]:
+    """Pre-order ``actual_rows`` of a subtree (for cache replay)."""
+    values: list[int | None] = []
+
+    def visit(current: PlanNode) -> None:
+        values.append(current.actual_rows)
+        for child in current.children:
+            visit(child)
+
+    visit(node)
+    return tuple(values)
+
+
+def _restore_actuals(node: PlanNode, values: tuple[int | None, ...]) -> None:
+    """Annotate a subtree with recorded ``actual_rows`` (same pre-order)."""
+    iterator = iter(values)
+
+    def visit(current: PlanNode) -> None:
+        current.actual_rows = next(iterator)
+        for child in current.children:
+            visit(child)
+
+    visit(node)
+
+
+@dataclass
+class _BuildEntry:
+    """One memoized hash-join build side."""
+
+    relation: Relation
+    actuals: tuple[int | None, ...]
+    prepared: dict[str, tuple[Relation, JoinHashTable | None]] = \
+        field(default_factory=dict)
+
+    def prepared_for(self, key: ColumnRef
+                     ) -> tuple[Relation, JoinHashTable | None]:
+        """Null-dropped relation + hash table for one build key column."""
+        cache_key = str(key)
+        entry = self.prepared.get(cache_key)
+        if entry is None:
+            dropped = _drop_null_keys(self.relation, key)
+            table = JoinHashTable.build(dropped.column(key))
+            entry = (dropped, table)
+            self.prepared[cache_key] = entry
+        return entry
+
+
+class BuildSideCache:
+    """LRU memo of executed hash-join build sides, shared across queries.
+
+    Keyed by the build subtree's structural signature, each entry holds
+    the materialized build relation, the per-key-column hash tables and
+    the subtree's actual cardinalities (replayed onto cache-hitting
+    plans so the runtime simulator still sees an executed subtree).
+
+    The cache binds to the first database it serves and refuses any
+    other (structurally identical subtrees on different databases yield
+    different rows).  It also assumes the underlying table data does
+    not change between queries; discard it after any data modification.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.database: Database | None = None
+        self._entries: OrderedDict[tuple, _BuildEntry] = OrderedDict()
+
+    def check_database(self, database: Database) -> None:
+        """Bind to ``database`` on first use; reject every other one."""
+        if self.database is None:
+            self.database = database
+        elif self.database is not database:
+            other = (f"{database.name!r}"
+                     if database.name != self.database.name
+                     else f"a different database instance also named "
+                          f"{database.name!r}")
+            raise ExecutionError(
+                f"build-side cache is bound to database "
+                f"{self.database.name!r} and cannot serve {other}; "
+                f"use one cache per database"
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, signature: tuple) -> _BuildEntry | None:
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(signature)
+        self.hits += 1
+        return entry
+
+    def put(self, signature: tuple, entry: _BuildEntry) -> None:
+        self._entries[signature] = entry
+        self._entries.move_to_end(signature)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.database = None
 
 
 def _drop_null_keys(relation: Relation, key: ColumnRef) -> Relation:
@@ -132,10 +259,26 @@ def _drop_null_keys(relation: Relation, key: ColumnRef) -> Relation:
 
 
 class Executor:
-    """Executes physical plans against one database."""
+    """Executes physical plans against one database.
 
-    def __init__(self, database: Database):
+    Operator dispatch goes through the class-level ``_HANDLERS`` table
+    (extensible via :func:`register_operator_handler`); join matching
+    goes through the per-operator kernel registry in
+    :mod:`repro.engine.join_kernels`.
+
+    An optional :class:`BuildSideCache` memoizes hash-join build sides
+    (relation + hash table) across queries — sound as long as the
+    database's table data is not modified while the cache lives.
+    """
+
+    #: operator class → bound handler; populated after the class body.
+    _HANDLERS: dict[type[PlanNode], Callable[["Executor", PlanNode],
+                                             "Relation"]] = {}
+
+    def __init__(self, database: Database,
+                 build_cache: BuildSideCache | None = None):
         self.database = database
+        self.build_cache = build_cache
 
     # ------------------------------------------------------------------
     # Public API
@@ -154,30 +297,19 @@ class Executor:
     # Dispatch
     # ------------------------------------------------------------------
     def _execute_node(self, node: PlanNode) -> Relation:
-        if isinstance(node, SeqScan):
-            relation = self._seq_scan(node)
-        elif isinstance(node, IndexScan):
-            relation = self._index_scan(node)
-        elif isinstance(node, HashBuild):
-            relation = self._execute_node(node.children[0])
-        elif isinstance(node, HashJoin):
-            relation = self._join(node, node.children[0], node.children[1],
-                                  node.condition)
-        elif isinstance(node, MergeJoin):
-            relation = self._join(node, node.children[0], node.children[1],
-                                  node.condition)
-        elif isinstance(node, NestedLoopJoin):
-            relation = self._nested_loop(node)
-        elif isinstance(node, Sort):
-            relation = self._sort(node)
-        elif isinstance(node, HashAggregate):
-            relation = self._hash_aggregate(node)
-        elif isinstance(node, PlainAggregate):
-            relation = self._plain_aggregate(node)
-        else:
+        handler = None
+        for klass in type(node).__mro__:
+            handler = self._HANDLERS.get(klass)
+            if handler is not None:
+                break
+        if handler is None:
             raise ExecutionError(f"unknown plan operator {type(node).__name__}")
+        relation = handler(self, node)
         node.actual_rows = relation.num_rows
         return relation
+
+    def _hash_build(self, node: HashBuild) -> Relation:
+        return self._execute_node(node.children[0])
 
     # ------------------------------------------------------------------
     # Scans
@@ -263,14 +395,57 @@ class Executor:
     # ------------------------------------------------------------------
     # Joins
     # ------------------------------------------------------------------
-    def _join(self, node: PlanNode, left_node: PlanNode, right_node: PlanNode,
-              condition) -> Relation:
-        left = self._execute_node(left_node)
-        right = self._execute_node(right_node)
-        left_ref, right_ref = _orient_condition(condition, left, right)
+    def _hash_join(self, node: HashJoin) -> Relation:
+        probe = self._execute_node(node.children[0])
+        build_node = node.children[1]
+        kernel = join_kernel_for(type(node))
+        # The cached fast path only applies with the stock hash kernel:
+        # a custom-registered kernel must see the raw key arrays.
+        entry = None
+        if self.build_cache is not None and kernel is hash_join_match:
+            entry = self._cached_build(build_node)
+        if entry is not None:
+            probe_ref, build_ref = _orient_condition(
+                node.condition, probe, entry.relation)
+            probe = _drop_null_keys(probe, probe_ref)
+            build, table = entry.prepared_for(build_ref)
+            probe_keys = probe.column(probe_ref)
+            if table is not None and table.accepts(probe_keys.dtype):
+                probe_idx, build_idx = table.probe(probe_keys)
+                return probe.take(probe_idx).merge(build.take(build_idx))
+        else:
+            build = self._execute_node(build_node)
+            probe_ref, build_ref = _orient_condition(node.condition, probe,
+                                                     build)
+            probe = _drop_null_keys(probe, probe_ref)
+            build = _drop_null_keys(build, build_ref)
+        probe_idx, build_idx = kernel(probe.column(probe_ref),
+                                      build.column(build_ref))
+        return probe.take(probe_idx).merge(build.take(build_idx))
+
+    def _cached_build(self, build_node: PlanNode) -> _BuildEntry:
+        """Fetch (or execute and memoize) a hash-join build side."""
+        self.build_cache.check_database(self.database)
+        signature = _subtree_signature(build_node)
+        entry = self.build_cache.get(signature)
+        if entry is None:
+            relation = self._execute_node(build_node)
+            entry = _BuildEntry(relation, _collect_actuals(build_node))
+            self.build_cache.put(signature, entry)
+        else:
+            # Replay the recorded cardinalities onto this plan's subtree
+            # so downstream consumers (simulator, featurizers) still see
+            # a fully executed plan.
+            _restore_actuals(build_node, entry.actuals)
+        return entry
+
+    def _merge_join(self, node: MergeJoin) -> Relation:
+        left = self._execute_node(node.children[0])
+        right = self._execute_node(node.children[1])
+        left_ref, right_ref = _orient_condition(node.condition, left, right)
         left = _drop_null_keys(left, left_ref)
         right = _drop_null_keys(right, right_ref)
-        left_idx, right_idx = _join_match_indices(
+        left_idx, right_idx = join_kernel_for(type(node))(
             left.column(left_ref), right.column(right_ref)
         )
         return left.take(left_idx).merge(right.take(right_idx))
@@ -291,7 +466,7 @@ class Executor:
         left_ref, right_ref = _orient_condition(condition, outer, inner)
         outer = _drop_null_keys(outer, left_ref)
         inner = _drop_null_keys(inner, right_ref)
-        left_idx, right_idx = _join_match_indices(
+        left_idx, right_idx = join_kernel_for(type(node))(
             outer.column(left_ref), inner.column(right_ref)
         )
         return outer.take(left_idx).merge(inner.take(right_idx))
@@ -334,6 +509,49 @@ class Executor:
                 [_scalar_aggregate(relation, agg)]
             )
         return Relation(columns=columns)
+
+
+Executor._HANDLERS = {
+    SeqScan: Executor._seq_scan,
+    IndexScan: Executor._index_scan,
+    HashBuild: Executor._hash_build,
+    HashJoin: Executor._hash_join,
+    MergeJoin: Executor._merge_join,
+    NestedLoopJoin: Executor._nested_loop,
+    Sort: Executor._sort,
+    HashAggregate: Executor._hash_aggregate,
+    PlainAggregate: Executor._plain_aggregate,
+}
+
+
+def register_operator_handler(
+    op_class: type[PlanNode],
+    handler: Callable[[Executor, PlanNode], Relation] | None,
+) -> Callable[[Executor, PlanNode], Relation] | None:
+    """Register an execution handler for a (possibly new) operator class.
+
+    The handler receives ``(executor, node)`` and returns the node's
+    output :class:`Relation`; ``actual_rows`` annotation happens in the
+    dispatch loop.  Returns the previously registered handler so
+    temporary overrides can be restored by passing it back —
+    ``handler=None`` removes the class's own entry (MRO lookup then
+    falls back to a parent's handler).
+    """
+    if not (isinstance(op_class, type) and issubclass(op_class, PlanNode)):
+        raise ExecutionError(
+            f"operator handlers must be registered for PlanNode subclasses, "
+            f"got {op_class!r}"
+        )
+    if handler is None:
+        return Executor._HANDLERS.pop(op_class, None)
+    if not callable(handler):
+        raise ExecutionError(
+            f"operator handler for {op_class.__name__} must be callable, "
+            f"got {handler!r}"
+        )
+    previous = Executor._HANDLERS.get(op_class)
+    Executor._HANDLERS[op_class] = handler
+    return previous
 
 
 def _orient_condition(condition, left: Relation,

@@ -1,0 +1,373 @@
+"""Vectorized join-matching kernels and the operator→kernel registry.
+
+Every kernel shares one contract: given the key arrays of the two join
+inputs it returns all matching ``(left_row, right_row)`` index pairs,
+ordered by left row index and — within one left row — by the right
+rows' original order.  That ordering is exactly what the historical
+sort-based kernel produced, so every kernel is a drop-in replacement
+whose output is row-identical to the others.
+
+Three algorithms are provided, matching the physical operators:
+
+* :func:`hash_join_match` — true build/probe hashing.  Build keys are
+  mapped to buckets with a multiplicative (Fibonacci) hash, bucket
+  membership is grouped with numpy's O(n) radix sort on the small
+  integer bucket ids, and probes expand per-bucket candidate runs that
+  are then verified by key equality.  No Python-level row loops, and no
+  comparison sort of the key values.
+* :func:`merge_join_match` — exploits *already sorted* inputs (the
+  planner places ``Sort`` nodes or order-preserving subplans under a
+  ``MergeJoin``): a pair of ``searchsorted`` sweeps over the sorted
+  right side, with no ``argsort`` at all.  Falls back to
+  :func:`sort_merge_match` if the right input turns out unsorted.
+* :func:`block_nested_loop_match` — compares blocks of the outer side
+  against the whole inner side with a broadcast equality, bounding the
+  working set to roughly ``_BLOCK_CELLS`` comparison cells.
+
+:func:`sort_merge_match` is the original sort-based kernel, kept as the
+reference implementation and as the generic fallback for key dtypes the
+hash kernel cannot canonicalize.
+
+The registry at the bottom maps plan-operator classes to kernels
+(DBSim-style executor tables).  ``register_join_kernel`` lets
+extensions swap in custom kernels without touching the executor::
+
+    from repro.engine import register_join_kernel, sort_merge_match
+    from repro.plans import HashJoin
+
+    previous = register_join_kernel(HashJoin, my_kernel)
+    ...
+    register_join_kernel(HashJoin, previous)   # restore
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.plans.operators import (
+    HashJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    PlanNode,
+)
+
+__all__ = [
+    "JoinHashTable",
+    "block_nested_loop_match",
+    "hash_join_match",
+    "join_kernel_for",
+    "merge_join_match",
+    "register_join_kernel",
+    "registered_join_kernels",
+    "reset_join_kernels",
+    "sort_merge_match",
+]
+
+#: A join kernel: ``(left_keys, right_keys) -> (left_rows, right_rows)``.
+JoinKernel = Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
+
+#: Fibonacci multiplier for the 64-bit multiplicative hash.
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+#: Upper bound on comparison cells materialized per nested-loop block.
+_BLOCK_CELLS = 1 << 22
+
+
+def _empty_pairs() -> tuple[np.ndarray, np.ndarray]:
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+
+def _canonical_int_view(keys: np.ndarray) -> np.ndarray | None:
+    """Map keys to an int64 array usable for hashing and bit equality.
+
+    Floats are normalized so ``-0.0`` and ``0.0`` share one bit pattern
+    (they compare equal, so they must land in the same bucket).  Returns
+    ``None`` for dtypes without a canonical integer view, signalling the
+    caller to fall back to the sort-based kernel.
+    """
+    if keys.dtype == np.int64:
+        return keys
+    if keys.dtype == np.float64:
+        return (keys + 0.0).view(np.int64)
+    kind = keys.dtype.kind
+    if kind in "iub":
+        return keys.astype(np.int64)
+    if kind == "f":
+        return (keys.astype(np.float64) + 0.0).view(np.int64)
+    return None
+
+
+def _segment_expand(counts: np.ndarray,
+                    total: int) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-row match counts into (row_indices, within_offsets)."""
+    row_indices = np.repeat(np.arange(len(counts)), counts)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    within = np.arange(total) - np.repeat(offsets, counts)
+    return row_indices, within
+
+
+@dataclass
+class JoinHashTable:
+    """A built (and reusable) hash table over one build-side key column.
+
+    The table is immutable once built; a single build can serve many
+    probes — the executor's build-side cache reuses it across queries
+    that share the same build subtree.
+    """
+
+    num_rows: int
+    key_dtype: np.dtype         # dtype the build keys had (probe contract)
+    _keys: np.ndarray           # canonical int64 view of the build keys
+    _bucket_counts: np.ndarray  # rows per bucket
+    _bucket_starts: np.ndarray  # exclusive prefix sum of the counts
+    _grouped_rows: np.ndarray   # build row ids grouped by bucket (stable)
+    _bucket_bits: int
+    _unique_buckets: bool       # every bucket holds at most one row
+
+    @classmethod
+    def build(cls, keys: np.ndarray) -> "JoinHashTable | None":
+        """Build the bucket arrays; ``None`` if the dtype is unhashable."""
+        canonical = _canonical_int_view(keys)
+        if canonical is None:
+            return None
+        n = len(canonical)
+        if n == 0:
+            return cls(0, keys.dtype, canonical,
+                       np.zeros(1, dtype=np.int64),
+                       np.zeros(1, dtype=np.int64),
+                       np.empty(0, dtype=np.int64), 0, True)
+        # Power-of-two table with load factor <= 0.5.
+        bits = max(1, int(2 * n - 1).bit_length())
+        buckets = cls._bucket_ids(canonical, bits)
+        counts = np.bincount(buckets, minlength=1 << bits)
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        unique = bool(counts.max() <= 1)
+        if unique:
+            # One row per bucket (the usual PK build side — the
+            # Fibonacci hash is collision-free on dense id ranges):
+            # the grouping is a plain scatter, no sort needed.
+            grouped = np.empty(n, dtype=np.int64)
+            grouped[starts[buckets]] = np.arange(n)
+        else:
+            # Stable argsort on small ints uses numpy's O(n) radix sort;
+            # within a bucket, rows keep their original order.
+            grouped = np.argsort(buckets, kind="stable")
+        return cls(n, keys.dtype, canonical, counts, starts, grouped, bits,
+                   unique)
+
+    @staticmethod
+    def _bucket_ids(canonical: np.ndarray, bits: int) -> np.ndarray:
+        hashed = canonical.view(np.uint64) * _HASH_MULTIPLIER
+        return (hashed >> np.uint64(64 - bits)).astype(np.int64)
+
+    def accepts(self, dtype: np.dtype) -> bool:
+        """Whether probe keys of ``dtype`` can use this table losslessly."""
+        try:
+            return bool(np.result_type(self.key_dtype, dtype)
+                        == self.key_dtype)
+        except TypeError:
+            return False
+
+    def probe(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Match probe keys, returning ``(probe_rows, build_rows)``."""
+        if self.num_rows == 0 or len(keys) == 0:
+            return _empty_pairs()
+        if keys.dtype != self.key_dtype:
+            # Equality must be evaluated in one numeric domain (e.g. an
+            # int probe against a float build side): promote the probe
+            # keys to the build dtype when lossless, bail otherwise.
+            if not self.accepts(keys.dtype):
+                raise ExecutionError(
+                    f"probe keys of dtype {keys.dtype} are incompatible "
+                    f"with a hash table built on {self.key_dtype}"
+                )
+            keys = keys.astype(self.key_dtype)
+        canonical = _canonical_int_view(keys)
+        if canonical is None:
+            raise ExecutionError(
+                f"probe keys of dtype {keys.dtype} cannot be hashed"
+            )
+        buckets = self._bucket_ids(canonical, self._bucket_bits)
+        counts = self._bucket_counts[buckets]
+        if self._unique_buckets:
+            # At most one candidate per probe: a flat gather replaces
+            # the run-expansion machinery below.
+            probe_rows = np.flatnonzero(counts)
+            candidates = self._grouped_rows[
+                self._bucket_starts[buckets[probe_rows]]]
+            matched = self._keys[candidates] == canonical[probe_rows]
+            return probe_rows[matched], candidates[matched]
+        total = int(counts.sum())
+        if total == 0:
+            return _empty_pairs()
+        probe_rows, within = _segment_expand(counts, total)
+        candidate_pos = np.repeat(self._bucket_starts[buckets], counts) + within
+        candidates = self._grouped_rows[candidate_pos]
+        # Buckets may mix distinct keys: verify actual key equality.
+        matched = self._keys[candidates] == canonical[probe_rows]
+        return probe_rows[matched], candidates[matched]
+
+
+def sort_merge_match(left_keys: np.ndarray,
+                     right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Reference kernel: sort the right side, binary-search every left key.
+
+    This is the original single-kernel implementation all joins used to
+    share; it remains the generic fallback and the parity oracle the
+    specialized kernels are tested against.
+    """
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    starts = np.searchsorted(sorted_right, left_keys, side="left")
+    stops = np.searchsorted(sorted_right, left_keys, side="right")
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _empty_pairs()
+    left_indices, within = _segment_expand(counts, total)
+    right_positions = np.repeat(starts, counts) + within
+    return left_indices, order[right_positions]
+
+
+def hash_join_match(probe_keys: np.ndarray,
+                    build_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Hash join: build buckets over ``build_keys``, probe with the left.
+
+    Returns ``(probe_rows, build_rows)`` — identical pairs, in identical
+    order, to :func:`sort_merge_match` on the same inputs.
+    """
+    if probe_keys.dtype != build_keys.dtype:
+        # Mixed-dtype keys (e.g. int FK vs float PK) compare numerically
+        # in the sort kernel; promote both sides so hashing agrees.
+        try:
+            common = np.result_type(probe_keys.dtype, build_keys.dtype)
+        except TypeError:
+            return sort_merge_match(probe_keys, build_keys)
+        if common.kind not in "iuf":
+            return sort_merge_match(probe_keys, build_keys)
+        probe_keys = probe_keys.astype(common)
+        build_keys = build_keys.astype(common)
+    table = JoinHashTable.build(build_keys)
+    if table is None:
+        return sort_merge_match(probe_keys, build_keys)
+    return table.probe(probe_keys)
+
+
+def _is_sorted(keys: np.ndarray) -> bool:
+    return len(keys) < 2 or bool(np.all(keys[:-1] <= keys[1:]))
+
+
+def merge_join_match(left_keys: np.ndarray,
+                     right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Merge join over inputs the planner already sorted on the key.
+
+    Only the right side's order is exploited (the left side is streamed
+    in its own order, preserving the shared output contract).  If the
+    right side is *not* sorted — a custom plan built without ``Sort``
+    nodes — the kernel degrades gracefully to :func:`sort_merge_match`.
+    """
+    if not _is_sorted(right_keys):
+        return sort_merge_match(left_keys, right_keys)
+    starts = np.searchsorted(right_keys, left_keys, side="left")
+    stops = np.searchsorted(right_keys, left_keys, side="right")
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _empty_pairs()
+    left_indices, within = _segment_expand(counts, total)
+    return left_indices, np.repeat(starts, counts) + within
+
+
+def block_nested_loop_match(outer_keys: np.ndarray,
+                            inner_keys: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Block nested-loop join: broadcast-compare outer blocks vs inner.
+
+    Each block materializes at most ``_BLOCK_CELLS`` comparison cells,
+    the vectorized analogue of a block-at-a-time tuple loop.  The
+    planner only chooses a plain nested loop for small inputs; for
+    degenerate plans whose comparison matrix would be enormous the
+    kernel falls back to the (asymptotically better) sort kernel rather
+    than grinding through O(n*m) work.
+    """
+    n, m = len(outer_keys), len(inner_keys)
+    if n == 0 or m == 0:
+        return _empty_pairs()
+    if n * m > 64 * _BLOCK_CELLS:
+        return sort_merge_match(outer_keys, inner_keys)
+    block = max(1, _BLOCK_CELLS // m)
+    outer_parts: list[np.ndarray] = []
+    inner_parts: list[np.ndarray] = []
+    for start in range(0, n, block):
+        # Raw == follows numpy's numeric promotion, exactly the
+        # comparison semantics the sort kernel's searchsorted uses.
+        hits = outer_keys[start:start + block, None] == inner_keys[None, :]
+        block_outer, block_inner = np.nonzero(hits)
+        outer_parts.append(block_outer + start)
+        inner_parts.append(block_inner)
+    return (np.concatenate(outer_parts).astype(np.int64),
+            np.concatenate(inner_parts).astype(np.int64))
+
+
+# ----------------------------------------------------------------------
+# Operator → kernel registry
+# ----------------------------------------------------------------------
+_DEFAULT_KERNELS: dict[type[PlanNode], JoinKernel] = {
+    HashJoin: hash_join_match,
+    MergeJoin: merge_join_match,
+    NestedLoopJoin: block_nested_loop_match,
+}
+
+_JOIN_KERNELS: dict[type[PlanNode], JoinKernel] = dict(_DEFAULT_KERNELS)
+
+
+def register_join_kernel(op_class: type[PlanNode],
+                         kernel: JoinKernel | None) -> JoinKernel | None:
+    """Map a join operator class to a kernel; returns the previous one.
+
+    The returned previous kernel makes temporary overrides restorable —
+    passing it back (including ``None`` for a class that had no entry)
+    restores the prior state.  ``kernel=None`` removes the class's own
+    registration, so MRO lookup falls back to a parent's kernel.
+    Subclasses of registered operators inherit their parent's kernel
+    unless registered explicitly.
+    """
+    if not (isinstance(op_class, type) and issubclass(op_class, PlanNode)):
+        raise ExecutionError(
+            f"join kernels must be registered for PlanNode subclasses, "
+            f"got {op_class!r}"
+        )
+    if kernel is None:
+        return _JOIN_KERNELS.pop(op_class, None)
+    if not callable(kernel):
+        raise ExecutionError(f"join kernel for {op_class.__name__} must be "
+                             f"callable, got {kernel!r}")
+    previous = _JOIN_KERNELS.get(op_class)
+    _JOIN_KERNELS[op_class] = kernel
+    return previous
+
+
+def join_kernel_for(op_class: type[PlanNode]) -> JoinKernel:
+    """The kernel registered for an operator class (walking the MRO)."""
+    for klass in op_class.__mro__:
+        kernel = _JOIN_KERNELS.get(klass)
+        if kernel is not None:
+            return kernel
+    raise ExecutionError(
+        f"no join kernel registered for {op_class.__name__}"
+    )
+
+
+def registered_join_kernels() -> dict[type[PlanNode], JoinKernel]:
+    """A snapshot of the current operator→kernel table."""
+    return dict(_JOIN_KERNELS)
+
+
+def reset_join_kernels() -> None:
+    """Restore the default kernel table (undo all registrations)."""
+    _JOIN_KERNELS.clear()
+    _JOIN_KERNELS.update(_DEFAULT_KERNELS)

@@ -11,7 +11,12 @@ databases — the paper's premise that system behaviour transfers across
 databases while data characteristics vary.
 """
 
-from repro.runtime.simulator import QueryRuntime, RuntimeSimulator
+from repro.runtime.simulator import (
+    QueryRuntime,
+    RuntimeSimulator,
+    register_cost_model,
+)
 from repro.runtime.system import SystemParameters
 
-__all__ = ["QueryRuntime", "RuntimeSimulator", "SystemParameters"]
+__all__ = ["QueryRuntime", "RuntimeSimulator", "SystemParameters",
+           "register_cost_model"]

@@ -11,12 +11,22 @@ model (buffer-cache behaviour, CPU-cache thrashing, spill passes), so a
 linear rescaling of optimizer costs cannot explain runtimes perfectly —
 matching the paper's observation about the Scaled-Optimizer-Cost
 baseline.
+
+Each operator's cost model mirrors the algorithm the executor's kernel
+actually runs (see :mod:`repro.engine.join_kernels`): hash joins pay a
+per-probe bucket lookup that degrades with build-side size (CPU-cache
+thrashing), merge joins pay one linear pass over their pre-sorted
+inputs, nested loops pay the full blockwise comparison matrix.  The
+models are dispatched through an operator→model table mirroring the
+executor's kernel registry; :func:`register_cost_model` extends it for
+custom operators.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -37,7 +47,7 @@ from repro.plans.operators import (
 from repro.plans.plan import PhysicalPlan, walk_plan
 from repro.runtime.system import SystemParameters
 
-__all__ = ["QueryRuntime", "RuntimeSimulator"]
+__all__ = ["QueryRuntime", "RuntimeSimulator", "register_cost_model"]
 
 
 @dataclass
@@ -64,7 +74,17 @@ class QueryRuntime:
 
 
 class RuntimeSimulator:
-    """Simulates runtimes of executed plans on one database + system."""
+    """Simulates runtimes of executed plans on one database + system.
+
+    Per-operator models live in the class-level ``_MODELS`` dispatch
+    table (operator class → bound model), the cost-side mirror of the
+    executor's operator→kernel registry; extend it with
+    :func:`register_cost_model`.
+    """
+
+    #: operator class → cost model; populated after the class body.
+    _MODELS: dict[type[PlanNode], Callable[["RuntimeSimulator", PlanNode],
+                                           float]] = {}
 
     def __init__(self, database: Database,
                  system: SystemParameters | None = None,
@@ -105,24 +125,10 @@ class RuntimeSimulator:
     # Dispatch
     # ------------------------------------------------------------------
     def _node_seconds(self, node: PlanNode) -> float:
-        if isinstance(node, SeqScan):
-            return self._seq_scan(node)
-        if isinstance(node, IndexScan):
-            return self._index_scan(node)
-        if isinstance(node, HashBuild):
-            return self._hash_build(node)
-        if isinstance(node, HashJoin):
-            return self._hash_join(node)
-        if isinstance(node, MergeJoin):
-            return self._merge_join(node)
-        if isinstance(node, NestedLoopJoin):
-            return self._nested_loop(node)
-        if isinstance(node, Sort):
-            return self._sort(node)
-        if isinstance(node, HashAggregate):
-            return self._aggregate(node, grouped=True)
-        if isinstance(node, PlainAggregate):
-            return self._aggregate(node, grouped=False)
+        for klass in type(node).__mro__:
+            model = self._MODELS.get(klass)
+            if model is not None:
+                return model(self, node)
         raise ExecutionError(f"no runtime model for {type(node).__name__}")
 
     # ------------------------------------------------------------------
@@ -221,6 +227,7 @@ class RuntimeSimulator:
         return descend + heap_io + index_cpu + residual_cpu + out_cpu
 
     def _hash_build(self, node: HashBuild) -> float:
+        """Linear bucket grouping of the build side (+ spill past work_mem)."""
         s = self.system
         rows = self._actual(node)
         build = rows * s.hash_build_s
@@ -230,6 +237,8 @@ class RuntimeSimulator:
         return build + spill
 
     def _hash_join(self, node: HashJoin) -> float:
+        """Per-probe bucket lookup; degrades as the build side outgrows
+        CPU caches (``probe_cost``), matching the bucket-array kernel."""
         s = self.system
         build_rows = self._actual(node.children[1])
         probe_rows = self._actual(node.probe_child)
@@ -242,6 +251,8 @@ class RuntimeSimulator:
         return probe + emit + spill
 
     def _merge_join(self, node: MergeJoin) -> float:
+        """One linear pass over both pre-sorted inputs (no re-sort; the
+        Sort children are charged separately)."""
         s = self.system
         left_rows = self._actual(node.children[0])
         right_rows = self._actual(node.children[1])
@@ -251,6 +262,8 @@ class RuntimeSimulator:
         return scan + emit
 
     def _nested_loop(self, node: NestedLoopJoin) -> float:
+        """Full outer×inner comparison matrix (blockwise in the kernel,
+        but the comparison count is the same)."""
         s = self.system
         outer_rows = self._actual(node.children[0])
         out_rows = self._actual(node)
@@ -290,3 +303,52 @@ class RuntimeSimulator:
             update += input_rows * s.hash_probe_s  # group lookup
         emit = out_rows * s.cpu_tuple_s
         return update + emit
+
+    def _hash_aggregate_model(self, node: HashAggregate) -> float:
+        return self._aggregate(node, grouped=True)
+
+    def _plain_aggregate_model(self, node: PlainAggregate) -> float:
+        return self._aggregate(node, grouped=False)
+
+
+RuntimeSimulator._MODELS = {
+    SeqScan: RuntimeSimulator._seq_scan,
+    IndexScan: RuntimeSimulator._index_scan,
+    HashBuild: RuntimeSimulator._hash_build,
+    HashJoin: RuntimeSimulator._hash_join,
+    MergeJoin: RuntimeSimulator._merge_join,
+    NestedLoopJoin: RuntimeSimulator._nested_loop,
+    Sort: RuntimeSimulator._sort,
+    HashAggregate: RuntimeSimulator._hash_aggregate_model,
+    PlainAggregate: RuntimeSimulator._plain_aggregate_model,
+}
+
+
+def register_cost_model(
+    op_class: type[PlanNode],
+    model: Callable[[RuntimeSimulator, PlanNode], float] | None,
+) -> Callable[[RuntimeSimulator, PlanNode], float] | None:
+    """Register a runtime model for a (possibly new) operator class.
+
+    The model receives ``(simulator, node)`` and returns seconds.  Pair
+    it with :func:`repro.engine.register_operator_handler` (and, for
+    joins, :func:`repro.engine.register_join_kernel`) when adding a new
+    physical operator end to end.  Returns the previous model so
+    overrides can be restored by passing it back — ``model=None``
+    removes the class's own entry.
+    """
+    if not (isinstance(op_class, type) and issubclass(op_class, PlanNode)):
+        raise ExecutionError(
+            f"cost models must be registered for PlanNode subclasses, "
+            f"got {op_class!r}"
+        )
+    if model is None:
+        return RuntimeSimulator._MODELS.pop(op_class, None)
+    if not callable(model):
+        raise ExecutionError(
+            f"cost model for {op_class.__name__} must be callable, "
+            f"got {model!r}"
+        )
+    previous = RuntimeSimulator._MODELS.get(op_class)
+    RuntimeSimulator._MODELS[op_class] = model
+    return previous

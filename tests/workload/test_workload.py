@@ -127,6 +127,28 @@ class TestRunner:
         with pytest.raises(WorkloadError):
             WorkloadRunner(tiny_imdb).run([])
 
+    def test_build_side_reuse_is_transparent(self, tiny_imdb):
+        """Records must be bit-identical with and without the shared
+        build-side cache (reuse only skips redundant work)."""
+        queries = make_benchmark_workload(tiny_imdb, "job-light", 8, seed=9)
+        # Repeat queries so identical build subtrees actually recur.
+        queries = queries + queries[:4]
+        cached_runner = WorkloadRunner(tiny_imdb, seed=1,
+                                       reuse_build_side=True)
+        plain_runner = WorkloadRunner(tiny_imdb, seed=1,
+                                      reuse_build_side=False)
+        cached = cached_runner.run(queries)
+        plain = plain_runner.run(queries)
+        for a, b in zip(cached, plain):
+            assert a.runtime_seconds == b.runtime_seconds
+            assert a.memory_peak_bytes == b.memory_peak_bytes
+            assert a.io_pages == b.io_pages
+            assert [n.actual_rows for n in a.plan.nodes()] == \
+                [n.actual_rows for n in b.plan.nodes()]
+        hits, misses = cached_runner.build_cache_stats
+        assert hits > 0
+        assert plain_runner.build_cache_stats == (0, 0)
+
 
 class TestCorpus:
     @pytest.fixture(scope="class")
