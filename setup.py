@@ -10,4 +10,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy", "scipy", "networkx"],
+    entry_points={
+        "console_scripts": [
+            "repro-cache = repro.experiments.cache:main",
+        ],
+    },
 )

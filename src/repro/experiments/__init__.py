@@ -2,6 +2,9 @@
 
 * :mod:`~repro.experiments.setup` — shared experiment context (training
   fleet, corpus, zero-shot models, IMDB holdout, evaluation workloads).
+* :mod:`~repro.experiments.cache` — persistent artifact store: contexts
+  round-trip to disk keyed by a content hash of the scale, so the
+  one-time effort is skipped on re-runs (CLI: ``repro-cache``).
 * :mod:`~repro.experiments.figure3` — Figure 3 (all four panels).
 * :mod:`~repro.experiments.table1` — Table 1 (incl. the Index row).
 * :mod:`~repro.experiments.learning_curve` — §3.2's "stagnates after 19
@@ -27,7 +30,17 @@ from repro.experiments.learning_curve import (
 )
 from repro.experiments.table1 import Table1Result, run_table1
 
+def __getattr__(name):
+    # Lazy so `python -m repro.experiments.cache` does not import the
+    # CLI module twice (once via the package, once as __main__).
+    if name == "ArtifactStore":
+        from repro.experiments.cache import ArtifactStore
+        return ArtifactStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ArtifactStore",
     "ExperimentContext",
     "ExperimentScale",
     "FewShotResult",

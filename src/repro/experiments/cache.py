@@ -1,0 +1,305 @@
+"""Persistent experiment artifact store.
+
+The paper's pitch is that one expensive training effort amortizes across
+every future database — so the reproduction should not repeat that
+effort either.  :class:`ArtifactStore` persists everything
+:func:`~repro.experiments.setup.build_context` produces — the training
+corpus (fleet databases included), the two trained zero-shot models,
+the IMDB holdout with its executed evaluation workloads and the IMDB
+training-query pool — keyed by a content hash of the
+:class:`~repro.experiments.setup.ExperimentScale`, so a benchmark run or
+example script re-invoked with the same scale skips the one-time effort
+entirely.
+
+Layout (one directory per context key)::
+
+    <root>/v1/ctx-<hash>/
+        scale.json          # provenance: the exact scale + pool flag
+        corpus.pkl          # TrainingCorpus.save (records + databases)
+        models/estimated/   # ZeroShotCostModel.save (weights + scalers)
+        models/actual/
+        context.pkl         # IMDB holdout, evaluation records, pool
+        COMPLETE            # written last; absent => entry is ignored
+
+The root directory resolves, in order: explicit constructor argument,
+the ``REPRO_CACHE_DIR`` environment variable, ``~/.cache/repro``.
+Setting ``REPRO_CACHE=0`` disables the store globally (every
+``build_context`` call rebuilds from scratch); ``python -m
+repro.experiments.cache --clear`` empties it, ``--stat`` lists entries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ExperimentError
+from repro.featurize.graph import CardinalitySource
+from repro.models import ZeroShotCostModel
+from repro.workload.corpus import TrainingCorpus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with setup.py
+    from repro.experiments.setup import ExperimentContext, ExperimentScale
+
+__all__ = ["ArtifactStore", "cache_enabled", "context_key", "main"]
+
+#: Bump when the on-disk layout or any pickled type changes shape; old
+#: entries are simply never matched again (and ``--clear`` removes them).
+CACHE_FORMAT_VERSION = "v1"
+
+_COMPLETE_MARKER = "COMPLETE"
+_MODEL_DIRS = {
+    CardinalitySource.ESTIMATED: "estimated",
+    CardinalitySource.ACTUAL: "actual",
+}
+
+
+def cache_enabled() -> bool:
+    """The global kill switch: ``REPRO_CACHE=0`` bypasses the store."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_cache_root() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def context_key(scale: "ExperimentScale", with_imdb_pool: bool = True) -> str:
+    """Content hash of everything that determines a context's value.
+
+    ``ExperimentScale`` is a frozen dataclass of plain values (nested
+    configs included), so its ``asdict`` form — plus the pool flag —
+    is the complete recipe; the seed lives inside the scale.
+    """
+    payload = {
+        "scale": asdict(scale),
+        "with_imdb_pool": bool(with_imdb_pool),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+    return f"ctx-{digest[:16]}"
+
+
+class ArtifactStore:
+    """Directory-backed store of experiment contexts."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    # ------------------------------------------------------------------
+    def _version_dir(self) -> Path:
+        return self.root / CACHE_FORMAT_VERSION
+
+    def entry_dir(self, scale: "ExperimentScale",
+                  with_imdb_pool: bool = True) -> Path:
+        return self._version_dir() / context_key(scale, with_imdb_pool)
+
+    def has_context(self, scale: "ExperimentScale",
+                    with_imdb_pool: bool = True) -> bool:
+        return (self.entry_dir(scale, with_imdb_pool)
+                / _COMPLETE_MARKER).is_file()
+
+    # ------------------------------------------------------------------
+    def save_context(self, context: "ExperimentContext",
+                     with_imdb_pool: bool = True) -> Path:
+        """Persist a freshly built context; returns its entry directory.
+
+        The entry is staged under a temporary name and renamed into
+        place, with the ``COMPLETE`` marker written last — a crashed or
+        concurrent writer can never produce a readable half-entry.
+        """
+        entry = self.entry_dir(context.scale, with_imdb_pool)
+        staging = entry.with_name(entry.name + f".tmp-{os.getpid()}")
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            with open(staging / "scale.json", "w") as handle:
+                json.dump({
+                    "scale": asdict(context.scale),
+                    "with_imdb_pool": with_imdb_pool,
+                    "created_unix": time.time(),
+                }, handle, indent=2, default=str)
+            context.corpus.save(staging / "corpus.pkl")
+            for source, model in context.zero_shot_models.items():
+                model.save(staging / "models" / _MODEL_DIRS[source])
+            with open(staging / "context.pkl", "wb") as handle:
+                pickle.dump({
+                    "imdb": context.imdb,
+                    "evaluation_records": context.evaluation_records,
+                    "imdb_pool": context.imdb_pool,
+                    "training_database_names": [
+                        db.name for db in context.training_databases],
+                    "histories": {
+                        _MODEL_DIRS[source]: model.history
+                        for source, model in context.zero_shot_models.items()
+                    },
+                }, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            (staging / _COMPLETE_MARKER).write_text("ok\n")
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        if (entry / _COMPLETE_MARKER).is_file():
+            # A concurrent writer finished first; same key => same bytes.
+            shutil.rmtree(staging, ignore_errors=True)
+            return entry
+        if entry.exists():
+            # Incomplete leftover (crashed writer, interrupted clear):
+            # replace it, otherwise the key would miss forever.
+            shutil.rmtree(entry, ignore_errors=True)
+        try:
+            os.replace(staging, entry)
+        except OSError:
+            # Lost a replace race after the marker check; the winner's
+            # entry is equivalent, so just drop the staging copy.
+            shutil.rmtree(staging, ignore_errors=True)
+        return entry
+
+    def load_context(self, scale: "ExperimentScale",
+                     with_imdb_pool: bool = True) -> "ExperimentContext | None":
+        """Load a stored context, or ``None`` on a cold/incomplete entry."""
+        from repro.experiments.setup import ExperimentContext
+
+        entry = self.entry_dir(scale, with_imdb_pool)
+        if not (entry / _COMPLETE_MARKER).is_file():
+            return None
+        corpus = TrainingCorpus.load(entry / "corpus.pkl")
+        with open(entry / "context.pkl", "rb") as handle:
+            payload = pickle.load(handle)
+        models: dict[CardinalitySource, ZeroShotCostModel] = {}
+        for source, name in _MODEL_DIRS.items():
+            model = ZeroShotCostModel.load(entry / "models" / name)
+            model.history = payload["histories"].get(name)
+            models[source] = model
+        try:
+            training_databases = [corpus.databases[db_name] for db_name
+                                  in payload["training_database_names"]]
+        except KeyError as missing:
+            raise ExperimentError(
+                f"artifact entry {entry.name} is inconsistent: corpus has "
+                f"no database {missing}"
+            ) from None
+        return ExperimentContext(
+            scale=scale,
+            training_databases=training_databases,
+            corpus=corpus,
+            zero_shot_models=models,
+            imdb=payload["imdb"],
+            evaluation_records=payload["evaluation_records"],
+            imdb_pool=payload["imdb_pool"],
+        )
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Metadata for every complete entry (for ``--stat``)."""
+        version_dir = self._version_dir()
+        if not version_dir.is_dir():
+            return []
+        found = []
+        for entry in sorted(version_dir.iterdir()):
+            if not (entry / _COMPLETE_MARKER).is_file():
+                continue
+            size = sum(f.stat().st_size
+                       for f in entry.rglob("*") if f.is_file())
+            info = {"key": entry.name, "bytes": size}
+            try:
+                with open(entry / "scale.json") as handle:
+                    provenance = json.load(handle)
+                scale = provenance.get("scale", {})
+                info["databases"] = scale.get("num_training_databases")
+                info["queries_per_database"] = scale.get(
+                    "queries_per_database")
+                info["seed"] = scale.get("seed")
+                info["with_imdb_pool"] = provenance.get("with_imdb_pool")
+                info["created_unix"] = provenance.get("created_unix")
+            except (OSError, json.JSONDecodeError):
+                pass
+            found.append(info)
+        return found
+
+    def clear(self) -> int:
+        """Delete every entry (all format versions); returns the count."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for version_dir in self.root.iterdir():
+            if not version_dir.is_dir():
+                continue
+            for entry in version_dir.iterdir():
+                shutil.rmtree(entry, ignore_errors=True)
+                removed += 1
+            shutil.rmtree(version_dir, ignore_errors=True)
+        return removed
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.experiments.cache --stat | --clear
+# ----------------------------------------------------------------------
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Inspect or clear the persistent experiment "
+                    "artifact store.",
+    )
+    parser.add_argument("--dir", default=None,
+                        help="store root (default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro)")
+    action = parser.add_mutually_exclusive_group()
+    action.add_argument("--stat", action="store_true",
+                        help="list cached experiment contexts (default)")
+    action.add_argument("--clear", action="store_true",
+                        help="delete every cached entry")
+    args = parser.parse_args(argv)
+
+    store = ArtifactStore(args.dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} cached context(s) from {store.root}")
+        return 0
+
+    entries = store.entries()
+    print(f"artifact store: {store.root} "
+          f"({'enabled' if cache_enabled() else 'DISABLED via REPRO_CACHE=0'})")
+    if not entries:
+        print("  (empty)")
+        return 0
+    total = 0
+    for info in entries:
+        total += info["bytes"]
+        scale_hint = ""
+        if info.get("databases") is not None:
+            scale_hint = (f"  fleet={info['databases']}x"
+                          f"{info.get('queries_per_database')}q"
+                          f" seed={info.get('seed')}"
+                          f" pool={info.get('with_imdb_pool')}")
+        print(f"  {info['key']}  {_format_bytes(info['bytes']):>10}"
+              f"{scale_hint}")
+    print(f"  total: {_format_bytes(total)} in {len(entries)} entr"
+          f"{'y' if len(entries) == 1 else 'ies'}")
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -8,7 +8,14 @@ workloads, and execute the IMDB training-query pool that the
 workload-driven baselines consume.
 
 Every experiment driver then reuses the context, so benchmarks share the
-expensive steps.
+expensive steps — and because the one-time effort is *one-time*,
+``build_context`` round-trips its outputs through the persistent
+:class:`~repro.experiments.cache.ArtifactStore`: a second call with the
+same :class:`ExperimentScale` loads the corpus, trained models and
+executed workloads from disk instead of rebuilding them.  Disable with
+``REPRO_CACHE=0`` (or ``use_cache=False``); relocate with
+``REPRO_CACHE_DIR``; inspect/clear with ``python -m
+repro.experiments.cache --stat/--clear``.
 """
 
 from __future__ import annotations
@@ -159,9 +166,30 @@ def train_zero_shot_models(corpus: TrainingCorpus, scale: ExperimentScale,
 
 
 def build_context(scale: ExperimentScale | None = None,
-                  with_imdb_pool: bool = True) -> ExperimentContext:
-    """Run the one-time setup and return the shared context."""
+                  with_imdb_pool: bool = True,
+                  store: "ArtifactStore | None" = None,
+                  use_cache: bool | None = None) -> ExperimentContext:
+    """Run the one-time setup and return the shared context.
+
+    The result is keyed by a content hash of ``scale`` (+ the pool
+    flag) in the persistent artifact store: a warm call deserializes
+    the corpus, models and executed workloads and performs **zero**
+    query execution or model training.  ``use_cache=None`` defers to
+    the ``REPRO_CACHE`` environment variable (on unless set to ``0``);
+    ``store=None`` uses the default store rooted at ``REPRO_CACHE_DIR``
+    or ``~/.cache/repro``.
+    """
+    from repro.experiments.cache import ArtifactStore, cache_enabled
+
     scale = scale or ExperimentScale.default()
+    if use_cache is None:
+        use_cache = cache_enabled()
+    if use_cache:
+        store = store or ArtifactStore()
+        cached = store.load_context(scale, with_imdb_pool)
+        if cached is not None:
+            return cached
+
     rng = np.random.default_rng(scale.seed)
 
     # 1. Training fleet + corpus (random physical designs included, §4.1).
@@ -207,7 +235,7 @@ def build_context(scale: ExperimentScale | None = None,
                                 noise_sigma=scale.training_noise_sigma)
         imdb_pool = runner.run(pool_queries)
 
-    return ExperimentContext(
+    context = ExperimentContext(
         scale=scale,
         training_databases=training_databases,
         corpus=corpus,
@@ -216,3 +244,6 @@ def build_context(scale: ExperimentScale | None = None,
         evaluation_records=evaluation_records,
         imdb_pool=imdb_pool,
     )
+    if use_cache:
+        store.save_context(context, with_imdb_pool)
+    return context

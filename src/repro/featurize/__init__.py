@@ -13,7 +13,15 @@
   used by ablations.
 """
 
-from repro.featurize.batch import GraphBatch, batch_graphs
+from repro.featurize.batch import (
+    EncodedGraph,
+    GraphBatch,
+    batch_graphs,
+    encode_graph,
+    encode_graphs,
+    fit_scalers,
+    merge_encoded,
+)
 from repro.featurize.e2e import E2EFeaturizer, E2ETreeSample
 from repro.featurize.graph import (
     NODE_TYPES,
@@ -29,6 +37,7 @@ __all__ = [
     "CardinalitySource",
     "E2EFeaturizer",
     "E2ETreeSample",
+    "EncodedGraph",
     "GraphBatch",
     "MSCNFeaturizer",
     "MSCNSample",
@@ -37,5 +46,9 @@ __all__ = [
     "StandardScaler",
     "ZeroShotFeaturizer",
     "batch_graphs",
+    "encode_graph",
+    "encode_graphs",
+    "fit_scalers",
+    "merge_encoded",
     "flat_plan_features",
 ]

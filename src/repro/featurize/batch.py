@@ -5,6 +5,20 @@ objects into one big DAG with batch-global node ids, groups nodes by
 *topological level* and, within a level, by node type.  The model then
 processes one level at a time with scatter-add child aggregation —
 the DeepSets-style bottom-up pass of the paper, fully vectorized.
+
+Batching is split into two stages so training featurizes each graph
+exactly once:
+
+* :func:`encode_graph` — the one-time per-graph precompute: scaled
+  per-type feature matrices, per-type node positions, node-type codes,
+  topological levels and edge arrays, frozen into an
+  :class:`EncodedGraph`;
+* :func:`merge_encoded` — the cheap per-mini-batch merge: pure numpy
+  concatenation plus ``argsort``/``searchsorted`` grouping by level and
+  node type, no per-node Python loops.
+
+:func:`batch_graphs` composes the two and stays the convenient one-shot
+entry point (used at inference time, where every batch is new anyway).
 """
 
 from __future__ import annotations
@@ -14,10 +28,24 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import FeaturizationError
-from repro.featurize.graph import FEATURE_DIMS, NODE_TYPES, PlanGraph
+from repro.featurize.graph import (
+    FEATURE_DIMS,
+    NODE_TYPES,
+    TYPE_CODE_OF,
+    PlanGraph,
+)
 from repro.featurize.scalers import StandardScaler
 
-__all__ = ["LevelSpec", "GraphBatch", "batch_graphs", "fit_scalers"]
+__all__ = [
+    "LevelSpec",
+    "GraphBatch",
+    "EncodedGraph",
+    "encode_graph",
+    "encode_graphs",
+    "merge_encoded",
+    "batch_graphs",
+    "fit_scalers",
+]
 
 
 @dataclass
@@ -59,6 +87,31 @@ class GraphBatch:
         return len(self.roots)
 
 
+@dataclass
+class EncodedGraph:
+    """One graph, featurized and (optionally) scaled exactly once.
+
+    Everything :func:`merge_encoded` needs is precomputed here, so a
+    training loop can re-batch the same graphs every epoch without ever
+    touching the Python-level featurization again.
+    """
+
+    num_nodes: int
+    #: Per-type feature matrices, already scaled if scalers were given.
+    features: dict[str, np.ndarray]
+    #: Per-type *local* node ids (row ``i`` of ``features[t]`` is node
+    #: ``type_positions[t][i]``).
+    type_positions: dict[str, np.ndarray]
+    #: Node-type code per node (index into ``NODE_TYPES``).
+    type_codes: np.ndarray
+    #: Topological level per node (leaves are level 0).
+    levels: np.ndarray
+    edges_child: np.ndarray
+    edges_parent: np.ndarray
+    root: int
+    target_log_runtime: float | None
+
+
 def fit_scalers(graphs: list[PlanGraph]) -> dict[str, StandardScaler]:
     """Fit per-node-type scalers over a corpus of raw graphs."""
     if not graphs:
@@ -79,82 +132,143 @@ def fit_scalers(graphs: list[PlanGraph]) -> dict[str, StandardScaler]:
     return scalers
 
 
-def batch_graphs(graphs: list[PlanGraph],
-                 scalers: dict[str, StandardScaler] | None = None,
-                 require_targets: bool = False) -> GraphBatch:
-    """Merge graphs into one batch (optionally scaling features)."""
-    if not graphs:
-        raise FeaturizationError("cannot batch zero graphs")
-
-    offsets = np.cumsum([0] + [g.num_nodes for g in graphs])
-    num_nodes = int(offsets[-1])
-
-    # Per-type features and their global positions.
+def encode_graph(graph: PlanGraph,
+                 scalers: dict[str, StandardScaler] | None = None
+                 ) -> EncodedGraph:
+    """Precompute everything batching needs from one graph (one time)."""
+    type_codes = graph.type_codes()
     features: dict[str, np.ndarray] = {}
     type_positions: dict[str, np.ndarray] = {}
     for node_type in NODE_TYPES:
-        matrices = []
-        positions = []
-        for graph, offset in zip(graphs, offsets[:-1]):
-            matrix = graph.feature_matrix(node_type)
-            if len(matrix):
-                matrices.append(matrix)
-                local_ids = [i for i, t in enumerate(graph.node_type_of)
-                             if t == node_type]
-                positions.append(np.asarray(local_ids, dtype=np.int64) + offset)
-        if matrices:
-            stacked = np.concatenate(matrices, axis=0)
-            type_positions[node_type] = np.concatenate(positions)
-        else:
-            stacked = np.zeros((0, FEATURE_DIMS[node_type]))
-            type_positions[node_type] = np.zeros(0, dtype=np.int64)
-        if scalers is not None and len(stacked):
-            stacked = scalers[node_type].transform(stacked)
-        features[node_type] = stacked
+        matrix = graph.feature_matrix(node_type)
+        if scalers is not None and len(matrix):
+            matrix = scalers[node_type].transform(matrix)
+        features[node_type] = matrix
+        type_positions[node_type] = np.flatnonzero(
+            type_codes == TYPE_CODE_OF[node_type]
+        ).astype(np.int64, copy=False)
+    if graph.edges:
+        edge_array = np.asarray(graph.edges, dtype=np.int64)
+        edges_child, edges_parent = edge_array[:, 0], edge_array[:, 1]
+    else:
+        edges_child = np.zeros(0, dtype=np.int64)
+        edges_parent = np.zeros(0, dtype=np.int64)
+    return EncodedGraph(
+        num_nodes=graph.num_nodes,
+        features=features,
+        type_positions=type_positions,
+        type_codes=type_codes,
+        levels=np.asarray(graph.levels(), dtype=np.int64),
+        edges_child=edges_child,
+        edges_parent=edges_parent,
+        root=graph.root,
+        target_log_runtime=graph.target_log_runtime,
+    )
 
-    # Global edges and levels.
-    node_types_global: list[str] = []
-    levels_global: list[int] = []
-    edges_child: list[int] = []
-    edges_parent: list[int] = []
-    roots = []
-    targets = []
-    for graph, offset in zip(graphs, offsets[:-1]):
-        node_types_global.extend(graph.node_type_of)
-        levels_global.extend(graph.levels())
-        for child, parent in graph.edges:
-            edges_child.append(child + offset)
-            edges_parent.append(parent + offset)
-        roots.append(graph.root + offset)
-        if graph.target_log_runtime is not None:
-            targets.append(graph.target_log_runtime)
-        elif require_targets:
+
+def encode_graphs(graphs: list[PlanGraph],
+                  scalers: dict[str, StandardScaler] | None = None
+                  ) -> list[EncodedGraph]:
+    """Encode a corpus once; the result re-batches arbitrarily often."""
+    return [encode_graph(graph, scalers) for graph in graphs]
+
+
+def _merge_targets(encoded: list[EncodedGraph],
+                   require_targets: bool) -> np.ndarray | None:
+    labels = [g.target_log_runtime for g in encoded]
+    missing = sum(label is None for label in labels)
+    if missing == len(labels):
+        if require_targets:
             raise FeaturizationError("graph is missing its runtime label")
+        return None
+    if missing:
+        # A mixed list is always a bug: silently dropping the labelled
+        # subset used to yield ``targets=None`` with no diagnostic.
+        raise FeaturizationError(
+            f"{missing} of {len(labels)} graphs are missing runtime labels; "
+            f"label all graphs (training) or none (inference)"
+        )
+    return np.asarray(labels)
 
-    edges_child_arr = np.asarray(edges_child, dtype=np.int64)
-    edges_parent_arr = np.asarray(edges_parent, dtype=np.int64)
-    level_arr = np.asarray(levels_global, dtype=np.int64)
+
+def merge_encoded(encoded: list[EncodedGraph],
+                  require_targets: bool = False) -> GraphBatch:
+    """Merge pre-encoded graphs into a :class:`GraphBatch` (cheap).
+
+    Pure numpy: feature/edge concatenation plus stable
+    ``argsort``/``searchsorted`` grouping of nodes by level and, within
+    a level, of parents by node type.
+    """
+    if not encoded:
+        raise FeaturizationError("cannot batch zero graphs")
+
+    offsets = np.cumsum([0] + [g.num_nodes for g in encoded])
+    num_nodes = int(offsets[-1])
+    graph_offsets = offsets[:-1]
+
+    features: dict[str, np.ndarray] = {}
+    type_positions: dict[str, np.ndarray] = {}
+    for node_type in NODE_TYPES:
+        matrices = [g.features[node_type] for g in encoded
+                    if len(g.features[node_type])]
+        positions = [g.type_positions[node_type] + offset
+                     for g, offset in zip(encoded, graph_offsets)
+                     if len(g.type_positions[node_type])]
+        features[node_type] = (np.concatenate(matrices, axis=0) if matrices
+                               else np.zeros((0, FEATURE_DIMS[node_type])))
+        type_positions[node_type] = (np.concatenate(positions) if positions
+                                     else np.zeros(0, dtype=np.int64))
+
+    type_codes = np.concatenate([g.type_codes for g in encoded])
+    level_arr = np.concatenate([g.levels for g in encoded])
+    edges_child_arr = np.concatenate(
+        [g.edges_child + offset for g, offset in zip(encoded, graph_offsets)]
+    )
+    edges_parent_arr = np.concatenate(
+        [g.edges_parent + offset for g, offset in zip(encoded, graph_offsets)]
+    )
+    roots = np.asarray([g.root + offset
+                        for g, offset in zip(encoded, graph_offsets)],
+                       dtype=np.int64)
+    targets = _merge_targets(encoded, require_targets)
+
     max_level = int(level_arr.max()) if num_nodes else 0
 
+    # Nodes grouped by level, edges grouped by their parent's level.
+    # Stable sorts keep ascending-id order within a group, matching the
+    # historical per-level boolean-mask scan.
+    node_order = np.argsort(level_arr, kind="stable")
+    node_group_starts = np.searchsorted(level_arr[node_order],
+                                        np.arange(max_level + 2))
+    parent_levels = (level_arr[edges_parent_arr] if len(edges_parent_arr)
+                     else np.zeros(0, dtype=np.int64))
+    edge_order = np.argsort(parent_levels, kind="stable")
+    edge_group_starts = np.searchsorted(parent_levels[edge_order],
+                                        np.arange(max_level + 2))
+    slot_of_node = np.zeros(num_nodes, dtype=np.int64)
+
     level_specs: list[LevelSpec] = []
-    parent_levels = level_arr[edges_parent_arr] if len(edges_parent_arr) else \
-        np.zeros(0, dtype=np.int64)
     for level in range(1, max_level + 1):
-        parent_ids = np.flatnonzero(level_arr == level)
+        parent_ids = node_order[node_group_starts[level]:
+                                node_group_starts[level + 1]]
         if len(parent_ids) == 0:
             continue
-        slot_of = {int(pid): slot for slot, pid in enumerate(parent_ids)}
-        edge_mask = parent_levels == level
-        edge_children = edges_child_arr[edge_mask]
-        edge_parents = edges_parent_arr[edge_mask]
-        edge_slots = np.asarray([slot_of[int(p)] for p in edge_parents],
-                                dtype=np.int64)
+        parent_ids = parent_ids.astype(np.int64, copy=False)
+        slot_of_node[parent_ids] = np.arange(len(parent_ids), dtype=np.int64)
+        level_edges = edge_order[edge_group_starts[level]:
+                                 edge_group_starts[level + 1]]
+        edge_children = edges_child_arr[level_edges]
+        edge_slots = slot_of_node[edges_parent_arr[level_edges]]
+
+        codes = type_codes[parent_ids]
+        slot_order = np.argsort(codes, kind="stable")
+        code_starts = np.searchsorted(codes[slot_order],
+                                      np.arange(len(NODE_TYPES) + 1))
         type_slots: dict[str, np.ndarray] = {}
-        for node_type in NODE_TYPES:
-            slots = [slot for slot, pid in enumerate(parent_ids)
-                     if node_types_global[pid] == node_type]
-            if slots:
-                type_slots[node_type] = np.asarray(slots, dtype=np.int64)
+        for code, node_type in enumerate(NODE_TYPES):
+            slots = slot_order[code_starts[code]:code_starts[code + 1]]
+            if len(slots):
+                type_slots[node_type] = slots.astype(np.int64, copy=False)
         level_specs.append(LevelSpec(
             parent_ids=parent_ids,
             edge_child_ids=edge_children,
@@ -167,7 +281,21 @@ def batch_graphs(graphs: list[PlanGraph],
         features=features,
         type_positions=type_positions,
         levels=level_specs,
-        roots=np.asarray(roots, dtype=np.int64),
-        targets=np.asarray(targets) if len(targets) == len(graphs) else None,
-        graph_sizes=[g.num_nodes for g in graphs],
+        roots=roots,
+        targets=targets,
+        graph_sizes=[g.num_nodes for g in encoded],
     )
+
+
+def batch_graphs(graphs: list[PlanGraph],
+                 scalers: dict[str, StandardScaler] | None = None,
+                 require_targets: bool = False) -> GraphBatch:
+    """Merge graphs into one batch (optionally scaling features).
+
+    One-shot convenience over :func:`encode_graphs` +
+    :func:`merge_encoded`; training loops should encode once and merge
+    per mini-batch instead.
+    """
+    if not graphs:
+        raise FeaturizationError("cannot batch zero graphs")
+    return merge_encoded(encode_graphs(graphs, scalers), require_targets)

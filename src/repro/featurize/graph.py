@@ -47,7 +47,7 @@ from repro.plans.plan import PhysicalPlan
 from repro.sql.ast import AggregateFunction, ColumnRef, ComparisonOperator
 
 __all__ = ["CardinalitySource", "PlanGraph", "ZeroShotFeaturizer",
-           "NODE_TYPES", "FEATURE_DIMS"]
+           "NODE_TYPES", "FEATURE_DIMS", "TYPE_CODE_OF"]
 
 
 class CardinalitySource(enum.Enum):
@@ -73,6 +73,10 @@ _DATATYPE_INDEX = {dt: i for i, dt in enumerate(DataType)}
 _AGGREGATE_INDEX = {fn: i for i, fn in enumerate(AggregateFunction)}
 
 NODE_TYPES = ("plan_op", "table", "column", "predicate", "aggregate", "index")
+
+#: Integer code per node type (index into ``NODE_TYPES``) — the batcher
+#: groups nodes with integer sorts instead of string comparisons.
+TYPE_CODE_OF = {t: i for i, t in enumerate(NODE_TYPES)}
 
 FEATURE_DIMS = {
     "plan_op": len(_OPERATOR_KINDS) + 3,   # one-hot + inl flag + rows + width
@@ -121,6 +125,11 @@ class PlanGraph:
         if child == parent:
             raise FeaturizationError("self edges are not allowed")
         self.edges.append((child, parent))
+
+    def type_codes(self) -> np.ndarray:
+        """Node-type code per node (index into ``NODE_TYPES``)."""
+        return np.asarray([TYPE_CODE_OF[t] for t in self.node_type_of],
+                          dtype=np.int64)
 
     def feature_matrix(self, node_type: str) -> np.ndarray:
         rows = self.features[node_type]

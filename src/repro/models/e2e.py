@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.featurize.e2e import E2EFeaturizer, E2ETreeSample
-from repro.models.trainer import TrainerConfig, TrainingHistory, train_model
+from repro.models.trainer import (
+    TrainerConfig,
+    TrainingHistory,
+    collate_targets,
+    train_model,
+)
 from repro.nn import MLP, Module, Tensor, no_grad
 
 __all__ = ["E2EConfig", "E2ENet", "E2ECostModel"]
@@ -36,9 +41,11 @@ class _TreeBatch:
     features: np.ndarray
     levels: list[tuple[np.ndarray, np.ndarray, np.ndarray]]
     roots: np.ndarray
+    targets: np.ndarray | None = None
 
 
 def _batch_trees(samples: list[E2ETreeSample]) -> _TreeBatch:
+    """Collate samples into one batch (used once per mini-batch)."""
     offsets = np.cumsum([0] + [s.num_nodes for s in samples])
     features = np.concatenate([s.features for s in samples], axis=0)
     level_of = np.concatenate([np.asarray(s.levels()) for s in samples])
@@ -67,8 +74,11 @@ def _batch_trees(samples: list[E2ETreeSample]) -> _TreeBatch:
         parent_slots = np.asarray([slot_of[int(p)] for p in edges_parent[mask]],
                                   dtype=np.int64)
         levels.append((parent_ids, child_ids, parent_slots))
+    targets = collate_targets([s.target_log_runtime for s in samples],
+                              "E2E")
     return _TreeBatch(num_nodes=int(offsets[-1]), features=features,
-                      levels=levels, roots=np.asarray(roots, dtype=np.int64))
+                      levels=levels, roots=np.asarray(roots, dtype=np.int64),
+                      targets=targets)
 
 
 class E2ENet(Module):
@@ -84,8 +94,9 @@ class E2ENet(Module):
         self.readout = MLP(hidden, list(config.readout_hidden), 1, rng,
                            activation=config.activation)
 
-    def forward(self, samples: list[E2ETreeSample]) -> Tensor:
-        batch = _batch_trees(samples)
+    def forward(self, batch: "_TreeBatch | list[E2ETreeSample]") -> Tensor:
+        if not isinstance(batch, _TreeBatch):
+            batch = _batch_trees(batch)
         hidden = self.encoder(Tensor(batch.features))
         for parent_ids, child_ids, parent_slots in batch.levels:
             child_sum = hidden.index_select(child_ids).scatter_add(
@@ -124,12 +135,12 @@ class E2ECostModel:
         self.target_mean = float(raw.mean())
         self.target_std = float(max(raw.std(), 1e-6))
 
-        def targets(batch: list[E2ETreeSample]) -> Tensor:
-            values = np.asarray([s.target_log_runtime for s in batch])
-            return Tensor((values - self.target_mean) / self.target_std)
+        def targets(batch: _TreeBatch) -> Tensor:
+            return Tensor((batch.targets - self.target_mean)
+                          / self.target_std)
 
         self.history = train_model(self.net, samples, self.net.forward,
-                                   targets, trainer)
+                                   targets, trainer, collate=_batch_trees)
         return self.history
 
     def predict_runtime(self, samples: list[E2ETreeSample]) -> np.ndarray:

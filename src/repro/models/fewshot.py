@@ -14,8 +14,6 @@ from repro.models.trainer import TrainerConfig, train_model
 from repro.models.zero_shot import ZeroShotCostModel
 from repro.nn import Tensor
 
-import numpy as np
-
 __all__ = ["fine_tune"]
 
 
@@ -40,14 +38,20 @@ def fine_tune(model: ZeroShotCostModel, graphs: list[PlanGraph],
         validation_fraction=0.0, early_stopping_patience=30,
     )
 
-    from repro.featurize.batch import batch_graphs
+    from repro.featurize.batch import GraphBatch, encode_graphs, merge_encoded
 
-    def forward(batch_items: list[PlanGraph]) -> Tensor:
-        return tuned.net(batch_graphs(batch_items, tuned.scalers))
+    # One-pass featurization: encode once with the zero-shot scalers,
+    # merge cheaply per mini-batch (see repro.featurize.batch).
+    encoded = encode_graphs(graphs, tuned.scalers)
 
-    def targets(batch_items: list[PlanGraph]) -> Tensor:
-        raw = np.asarray([g.target_log_runtime for g in batch_items])
-        return Tensor((raw - tuned.target_mean) / tuned.target_std)
+    def forward(batch: GraphBatch) -> Tensor:
+        return tuned.net(batch)
 
-    tuned.history = train_model(tuned.net, graphs, forward, targets, trainer)
+    def targets(batch: GraphBatch) -> Tensor:
+        return Tensor((batch.targets - tuned.target_mean) / tuned.target_std)
+
+    tuned.history = train_model(
+        tuned.net, encoded, forward, targets, trainer,
+        collate=lambda items: merge_encoded(items, require_targets=True),
+    )
     return tuned

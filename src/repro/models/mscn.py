@@ -14,10 +14,18 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.featurize.mscn import MSCNFeaturizer, MSCNSample
-from repro.models.trainer import TrainerConfig, TrainingHistory, train_model
+from repro.models.trainer import (
+    TrainerConfig,
+    TrainingHistory,
+    collate_targets,
+    train_model,
+)
 from repro.nn import MLP, Module, Tensor, no_grad
 
-__all__ = ["MSCNConfig", "MSCNNet", "MSCNCostModel"]
+__all__ = ["MSCNConfig", "MSCNNet", "MSCNBatch", "collate_mscn",
+           "MSCNCostModel"]
+
+_SET_ATTRIBUTES = ("table_features", "join_features", "predicate_features")
 
 
 @dataclass(frozen=True)
@@ -27,6 +35,35 @@ class MSCNConfig:
     final_hidden: tuple[int, ...] = (64,)
     activation: str = "relu"
     seed: int = 0
+
+
+@dataclass
+class MSCNBatch:
+    """Pre-stacked set matrices for one mini-batch (built once).
+
+    Per set kind: ``(stacked_features, sample_ids, counts)`` — the
+    arrays the net's pooling needs, so training never re-stacks a batch
+    it has already seen.
+    """
+
+    sets: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]]
+    targets: np.ndarray | None
+    num_samples: int
+
+
+def collate_mscn(samples: list[MSCNSample]) -> MSCNBatch:
+    """Stack a list of samples into one :class:`MSCNBatch`."""
+    sets = {}
+    for attribute in _SET_ATTRIBUTES:
+        matrices = [getattr(s, attribute) for s in samples]
+        counts = np.asarray([len(m) for m in matrices], dtype=np.float64)
+        stacked = np.concatenate(matrices, axis=0)
+        sample_ids = np.repeat(np.arange(len(samples)),
+                               counts.astype(np.int64))
+        sets[attribute] = (stacked, sample_ids, counts)
+    targets = collate_targets([s.target_log_runtime for s in samples],
+                              "MSCN")
+    return MSCNBatch(sets=sets, targets=targets, num_samples=len(samples))
 
 
 class MSCNNet(Module):
@@ -53,19 +90,17 @@ class MSCNNet(Module):
         summed = encoded.scatter_add(sample_ids, len(counts))
         return summed * Tensor((1.0 / np.maximum(counts, 1.0))[:, None])
 
-    def forward(self, samples: list[MSCNSample]) -> Tensor:
-        """Predicted log-runtimes for a batch of samples."""
+    def forward(self, batch: "MSCNBatch | list[MSCNSample]") -> Tensor:
+        """Predicted log-runtimes for a (collated) batch of samples."""
+        if not isinstance(batch, MSCNBatch):
+            batch = collate_mscn(batch)
         pooled = []
         for attribute, mlp in (
             ("table_features", self.table_mlp),
             ("join_features", self.join_mlp),
             ("predicate_features", self.predicate_mlp),
         ):
-            matrices = [getattr(s, attribute) for s in samples]
-            counts = np.asarray([len(m) for m in matrices], dtype=np.float64)
-            stacked = np.concatenate(matrices, axis=0)
-            sample_ids = np.repeat(np.arange(len(samples)),
-                                   counts.astype(np.int64))
+            stacked, sample_ids, counts = batch.sets[attribute]
             encoded = mlp(Tensor(stacked))
             pooled.append(self._pool(encoded, sample_ids, counts))
         return self.output(Tensor.concat(pooled, axis=1)).reshape(-1)
@@ -96,12 +131,12 @@ class MSCNCostModel:
         self.target_mean = float(raw.mean())
         self.target_std = float(max(raw.std(), 1e-6))
 
-        def targets(batch: list[MSCNSample]) -> Tensor:
-            values = np.asarray([s.target_log_runtime for s in batch])
-            return Tensor((values - self.target_mean) / self.target_std)
+        def targets(batch: MSCNBatch) -> Tensor:
+            return Tensor((batch.targets - self.target_mean)
+                          / self.target_std)
 
         self.history = train_model(self.net, samples, self.net.forward,
-                                   targets, trainer)
+                                   targets, trainer, collate=collate_mscn)
         return self.history
 
     def predict_runtime(self, samples: list[MSCNSample]) -> np.ndarray:

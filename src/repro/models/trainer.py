@@ -2,19 +2,28 @@
 
 Models supply two closures:
 
-* ``forward(batch_items) -> Tensor`` — predictions (log-runtimes),
-* ``targets(batch_items) -> Tensor`` — labels (log-runtimes),
+* ``forward(batch) -> Tensor`` — predictions (log-runtimes),
+* ``targets(batch) -> Tensor`` — labels (log-runtimes),
 
 and the trainer handles shuffling, mini-batching, optimization, gradient
 clipping, validation and early stopping.  Losses operate on
 log-runtimes; the absolute-log-difference ("q") loss directly optimizes
 the median Q-error the paper reports.
+
+Without a ``collate`` function, ``forward``/``targets`` receive the raw
+list of samples each step (the historical behaviour).  With ``collate``,
+every mini-batch is collated into one prebuilt batch object before the
+closures see it — and the validation set is collated **once**, so the
+fixed validation batch is never rebuilt across epochs.  Models that
+precompute their featurization (e.g. the zero-shot model's
+:class:`~repro.featurize.batch.EncodedGraph`) pass the cheap vectorized
+merge as ``collate`` and featurize exactly once per fit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -23,7 +32,26 @@ from repro.nn import Adam, BatchIterator, Tensor, clip_grad_norm, train_validati
 from repro.nn import functional as F
 from repro.nn.module import Module
 
-__all__ = ["TrainerConfig", "TrainingHistory", "train_model"]
+__all__ = ["TrainerConfig", "TrainingHistory", "collate_targets",
+           "train_model"]
+
+
+def collate_targets(labels: list, kind: str) -> np.ndarray | None:
+    """Label vector for a collated batch: all labels, or none.
+
+    A mixed batch is always a caller bug (training requires every
+    label, inference none), so it raises instead of silently yielding
+    ``targets=None`` and failing later with an opaque ``TypeError``.
+    """
+    missing = sum(label is None for label in labels)
+    if missing == len(labels):
+        return None
+    if missing:
+        raise ModelError(
+            f"{missing} of {len(labels)} {kind} samples are missing runtime "
+            f"labels; label all samples (training) or none (inference)"
+        )
+    return np.asarray(labels)
 
 _LOSSES = {
     "q": F.q_loss,
@@ -87,10 +115,20 @@ class TrainingHistory:
 
 
 def train_model(model: Module, samples: Sequence,
-                forward: Callable[[list], Tensor],
-                targets: Callable[[list], Tensor],
-                config: TrainerConfig) -> TrainingHistory:
-    """Train ``model`` on ``samples``; restores the best-validation weights."""
+                forward: Callable[[Any], Tensor],
+                targets: Callable[[Any], Tensor],
+                config: TrainerConfig,
+                collate: Callable[[list], Any] | None = None
+                ) -> TrainingHistory:
+    """Train ``model`` on ``samples``; restores the best-validation weights.
+
+    ``collate`` (optional) merges a list of samples into one batch
+    object.  When given, ``forward``/``targets`` receive collated
+    batches, and the validation batch is built once up front instead of
+    being re-collated every epoch.  Shuffling, splitting and batch
+    membership are identical with and without ``collate``, so the two
+    modes produce bit-identical losses for deterministic models.
+    """
     if not samples:
         raise ModelError("cannot train on an empty sample list")
     rng = np.random.default_rng(config.seed)
@@ -102,6 +140,11 @@ def train_model(model: Module, samples: Sequence,
         )
     else:
         train_set, validation_set = list(samples), []
+
+    validation_batch: Any = None
+    if validation_set:
+        validation_batch = (collate(validation_set) if collate is not None
+                            else validation_set)
 
     optimizer = Adam(model.parameters(), lr=config.learning_rate,
                      weight_decay=config.weight_decay)
@@ -116,6 +159,8 @@ def train_model(model: Module, samples: Sequence,
         iterator = BatchIterator(train_set, config.batch_size, rng=rng)
         epoch_losses = []
         for batch in iterator:
+            if collate is not None:
+                batch = collate(batch)
             optimizer.zero_grad()
             predictions = forward(batch)
             labels = targets(batch)
@@ -128,8 +173,8 @@ def train_model(model: Module, samples: Sequence,
 
         if validation_set:
             model.eval()
-            predictions = forward(validation_set)
-            labels = targets(validation_set)
+            predictions = forward(validation_batch)
+            labels = targets(validation_batch)
             validation_loss = loss_fn(predictions, labels).item()
         else:
             validation_loss = history.train_losses[-1]

@@ -23,7 +23,13 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.errors import ModelError
-from repro.featurize.batch import GraphBatch, batch_graphs, fit_scalers
+from repro.featurize.batch import (
+    GraphBatch,
+    batch_graphs,
+    encode_graphs,
+    fit_scalers,
+    merge_encoded,
+)
 from repro.featurize.graph import FEATURE_DIMS, NODE_TYPES, PlanGraph
 from repro.featurize.scalers import StandardScaler
 from repro.nn import MLP, Module, Tensor, no_grad
@@ -140,8 +146,20 @@ class ZeroShotCostModel:
         return self.scalers is not None
 
     def fit(self, graphs: list[PlanGraph],
-            trainer: TrainerConfig | None = None) -> TrainingHistory:
-        """Train on labelled graphs (from *multiple* training databases)."""
+            trainer: TrainerConfig | None = None,
+            prebuild: bool = True) -> TrainingHistory:
+        """Train on labelled graphs (from *multiple* training databases).
+
+        With ``prebuild=True`` (the default) every graph is featurized
+        **once** into an :class:`~repro.featurize.batch.EncodedGraph`
+        (scaled feature matrices, level arrays, type codes) and each
+        mini-batch is assembled by the cheap vectorized merge; the
+        validation batch is built a single time.  ``prebuild=False``
+        keeps the historical re-featurize-per-batch path — same
+        shuffling, same batches, bit-identical losses — and exists as
+        the measurable baseline for the one-pass pipeline (see
+        ``benchmarks/test_microbench.py``).
+        """
         if not graphs:
             raise ModelError("zero-shot training needs at least one graph")
         if any(g.target_log_runtime is None for g in graphs):
@@ -152,15 +170,33 @@ class ZeroShotCostModel:
         self.target_mean = float(all_targets.mean())
         self.target_std = float(max(all_targets.std(), 1e-6))
 
-        def forward(batch_items: list[PlanGraph]) -> Tensor:
-            batch = batch_graphs(batch_items, self.scalers)
-            return self.net(batch)
+        if prebuild:
+            encoded = encode_graphs(graphs, self.scalers)
 
-        def targets(batch_items: list[PlanGraph]) -> Tensor:
-            raw = np.asarray([g.target_log_runtime for g in batch_items])
-            return Tensor((raw - self.target_mean) / self.target_std)
+            def forward(batch: GraphBatch) -> Tensor:
+                return self.net(batch)
 
-        self.history = train_model(self.net, graphs, forward, targets, trainer)
+            def targets(batch: GraphBatch) -> Tensor:
+                return Tensor((batch.targets - self.target_mean)
+                              / self.target_std)
+
+            self.history = train_model(
+                self.net, encoded, forward, targets, trainer,
+                collate=lambda items: merge_encoded(items,
+                                                    require_targets=True),
+            )
+        else:
+            def forward(batch_items: list[PlanGraph]) -> Tensor:
+                batch = batch_graphs(batch_items, self.scalers)
+                return self.net(batch)
+
+            def targets(batch_items: list[PlanGraph]) -> Tensor:
+                raw = np.asarray([g.target_log_runtime
+                                  for g in batch_items])
+                return Tensor((raw - self.target_mean) / self.target_std)
+
+            self.history = train_model(self.net, graphs, forward, targets,
+                                       trainer)
         return self.history
 
     def predict_log_runtime(self, graphs: list[PlanGraph]) -> np.ndarray:

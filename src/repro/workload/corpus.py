@@ -9,6 +9,8 @@ database before running the training queries").
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,6 +78,30 @@ class TrainingCorpus:
                     record.plan, database, label
                 ))
         return graphs
+
+    # ------------------------------------------------------------------
+    # Persistence (the experiment artifact store round-trips corpora so
+    # the one-time training-data collection really happens one time).
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Serialize the corpus (records *and* databases) to ``path``.
+
+        One file keeps shared object identity: plans that reference a
+        database deserialize pointing at the same database object.
+        """
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "TrainingCorpus":
+        with open(path, "rb") as handle:
+            corpus = pickle.load(handle)
+        if not isinstance(corpus, cls):
+            raise WorkloadError(
+                f"{os.fspath(path)!r} does not contain a TrainingCorpus "
+                f"(got {type(corpus).__name__})"
+            )
+        return corpus
 
 
 def create_random_indexes(database: Database, count: int,

@@ -1,5 +1,7 @@
 """Shared fixtures: small databases reused across the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,31 @@ from repro.db import (
     generate_database,
     make_imdb_database,
 )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "artifact_cache: exercises the persistent experiment artifact store",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the artifact store at a per-session scratch directory.
+
+    Tier-1 runs must never read a stale user-level cache (a context
+    pickled by older code could silently mask a regression), and must
+    never pollute ``~/.cache/repro`` either.
+    """
+    scratch = tmp_path_factory.mktemp("repro-artifact-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(scratch)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

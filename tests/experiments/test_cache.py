@@ -1,0 +1,182 @@
+"""The persistent experiment artifact store.
+
+A warm :func:`~repro.experiments.build_context` call must deserialize
+the corpus, trained models and executed workloads — zero query
+execution, zero training — and reproduce the cold context bit for bit.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ArtifactStore,
+    ExperimentScale,
+    build_context,
+)
+from repro.experiments import setup as experiment_setup
+from repro.experiments.cache import cache_enabled, context_key, main
+from repro.featurize import CardinalitySource, ZeroShotFeaturizer
+from repro.models import TrainerConfig, ZeroShotConfig
+
+pytestmark = pytest.mark.artifact_cache
+
+
+def tiny_scale() -> ExperimentScale:
+    """Smaller than ``quick()``: the round-trip runs twice per test."""
+    return ExperimentScale(
+        num_training_databases=2,
+        queries_per_database=25,
+        random_indexes_per_database=1,
+        training_db_min_rows=300,
+        training_db_max_rows=2_000,
+        imdb_scale=0.03,
+        evaluation_queries=6,
+        training_budgets=(10,),
+        fewshot_budgets=(5,),
+        zero_shot_config=ZeroShotConfig(hidden_dim=16),
+        zero_shot_trainer=TrainerConfig(epochs=8, batch_size=16,
+                                        early_stopping_patience=8),
+        baseline_trainer=TrainerConfig(epochs=4, batch_size=16,
+                                       early_stopping_patience=4),
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    """One cold build shared by the round-trip assertions."""
+    store = ArtifactStore(tmp_path_factory.mktemp("store"))
+    context = build_context(tiny_scale(), with_imdb_pool=False, store=store,
+                            use_cache=True)
+    return store, context
+
+
+class TestRoundTrip:
+    def test_warm_call_skips_all_one_time_effort(self, warm_store,
+                                                 monkeypatch):
+        store, _ = warm_store
+
+        def poison(*args, **kwargs):
+            raise AssertionError("one-time effort repeated on a warm cache")
+
+        monkeypatch.setattr(experiment_setup, "train_zero_shot_models", poison)
+        monkeypatch.setattr(experiment_setup, "collect_training_corpus", poison)
+        monkeypatch.setattr(experiment_setup, "generate_training_databases",
+                            poison)
+        context = build_context(tiny_scale(), with_imdb_pool=False,
+                                store=store, use_cache=True)
+        assert context.corpus.num_queries == 2 * 25
+
+    def test_roundtrip_reproduces_predictions(self, warm_store):
+        store, cold = warm_store
+        warm = build_context(tiny_scale(), with_imdb_pool=False,
+                             store=store, use_cache=True)
+        featurizer = ZeroShotFeaturizer(CardinalitySource.ACTUAL)
+        cold_graphs = [featurizer.featurize(r.plan, cold.imdb)
+                       for r in cold.evaluation_records["scale"]]
+        warm_graphs = [featurizer.featurize(r.plan, warm.imdb)
+                       for r in warm.evaluation_records["scale"]]
+        for source in (CardinalitySource.ACTUAL,
+                       CardinalitySource.ESTIMATED):
+            np.testing.assert_array_equal(
+                cold.zero_shot_models[source].predict_log_runtime(
+                    cold_graphs),
+                warm.zero_shot_models[source].predict_log_runtime(
+                    warm_graphs),
+            )
+
+    def test_roundtrip_preserves_context_shape(self, warm_store):
+        store, cold = warm_store
+        warm = build_context(tiny_scale(), with_imdb_pool=False,
+                             store=store, use_cache=True)
+        assert [db.name for db in warm.training_databases] == \
+            [db.name for db in cold.training_databases]
+        assert set(warm.evaluation_records) == set(cold.evaluation_records)
+        for benchmark in cold.evaluation_records:
+            np.testing.assert_array_equal(
+                warm.evaluation_truths(benchmark),
+                cold.evaluation_truths(benchmark),
+            )
+        for source, model in warm.zero_shot_models.items():
+            assert model.history is not None
+            assert model.history.train_losses == \
+                cold.zero_shot_models[source].history.train_losses
+
+    def test_use_cache_false_bypasses_store(self, warm_store, monkeypatch):
+        store, _ = warm_store
+        sentinel = {"loaded": False}
+
+        def spy(*args, **kwargs):
+            sentinel["loaded"] = True
+            return None
+
+        monkeypatch.setattr(ArtifactStore, "load_context", spy)
+        build_context(tiny_scale(), with_imdb_pool=False, store=store,
+                      use_cache=False)
+        assert not sentinel["loaded"]
+
+    def test_repro_cache_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not cache_enabled()
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert cache_enabled()
+
+
+class TestKeying:
+    def test_key_is_deterministic(self):
+        assert context_key(tiny_scale()) == context_key(tiny_scale())
+
+    def test_key_depends_on_scale_and_pool(self):
+        base = tiny_scale()
+        reseeded = dataclasses.replace(base, seed=base.seed + 1)
+        assert context_key(base) != context_key(reseeded)
+        assert context_key(base, with_imdb_pool=True) != \
+            context_key(base, with_imdb_pool=False)
+
+    def test_incomplete_entry_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        entry = store.entry_dir(tiny_scale())
+        entry.mkdir(parents=True)          # no COMPLETE marker
+        (entry / "corpus.pkl").write_bytes(b"garbage")
+        assert not store.has_context(tiny_scale())
+        assert store.load_context(tiny_scale()) is None
+
+    def test_incomplete_entry_is_replaced_on_save(self, warm_store,
+                                                  tmp_path):
+        """A crashed writer's leftover must not poison the key forever."""
+        fresh = ArtifactStore(tmp_path)
+        scale = tiny_scale()
+        leftover = fresh.entry_dir(scale, with_imdb_pool=False)
+        leftover.mkdir(parents=True)       # incomplete: no COMPLETE marker
+        (leftover / "corpus.pkl").write_bytes(b"garbage")
+
+        _, context = warm_store
+        fresh.save_context(context, with_imdb_pool=False)
+        assert fresh.has_context(scale, with_imdb_pool=False)
+        reloaded = fresh.load_context(scale, with_imdb_pool=False)
+        assert reloaded is not None
+        assert reloaded.corpus.num_queries == context.corpus.num_queries
+
+
+class TestCLI:
+    def test_stat_and_clear(self, warm_store, capsys):
+        store, _ = warm_store
+        assert main(["--stat", "--dir", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "ctx-" in out and "fleet=2x25q" in out
+
+        scratch = ArtifactStore(store.root)   # same root, fresh handle
+        assert len(scratch.entries()) == 1
+
+    def test_clear_empties_store(self, tmp_path, capsys):
+        # Clearing only touches directories; fabricated entries suffice.
+        store = ArtifactStore(tmp_path)
+        for name in ("ctx-aaaa", "ctx-bbbb"):
+            entry = store.entry_dir(tiny_scale()).with_name(name)
+            entry.mkdir(parents=True)
+            (entry / "COMPLETE").write_text("ok\n")
+        assert len(store.entries()) == 2
+        assert main(["--clear", "--dir", str(tmp_path)]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+        assert store.entries() == []

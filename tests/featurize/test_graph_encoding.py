@@ -13,7 +13,7 @@ from repro.featurize import (
     batch_graphs,
     flat_plan_features,
 )
-from repro.featurize.batch import fit_scalers
+from repro.featurize.batch import encode_graphs, fit_scalers, merge_encoded
 from repro.featurize.graph import FEATURE_DIMS
 from repro.featurize.plan_features import FLAT_DIM
 from repro.optimizer import plan_query
@@ -182,6 +182,58 @@ class TestBatching:
         graph, _ = featurized(tiny_imdb, PAPER_QUERY)
         with pytest.raises(FeaturizationError):
             batch_graphs([graph], require_targets=True)
+
+    def test_partially_labelled_batch_rejected(self, tiny_imdb):
+        """A mixed list used to silently yield ``targets=None``; now it
+        raises even without ``require_targets``."""
+        labelled = self._graphs(tiny_imdb, n=2)
+        unlabelled, _ = featurized(tiny_imdb, PAPER_QUERY)
+        with pytest.raises(FeaturizationError, match="missing runtime"):
+            batch_graphs(labelled + [unlabelled])
+        with pytest.raises(FeaturizationError, match="missing runtime"):
+            batch_graphs(labelled + [unlabelled], require_targets=True)
+
+    def test_encode_then_merge_matches_one_shot(self, tiny_imdb):
+        """The one-time precompute + cheap merge is the same batch the
+        one-shot path builds — features, grouping and targets alike."""
+        graphs = self._graphs(tiny_imdb)
+        scalers = fit_scalers(graphs)
+        one_shot = batch_graphs(graphs, scalers)
+        merged = merge_encoded(encode_graphs(graphs, scalers))
+        assert merged.num_nodes == one_shot.num_nodes
+        assert merged.graph_sizes == one_shot.graph_sizes
+        np.testing.assert_array_equal(merged.roots, one_shot.roots)
+        np.testing.assert_array_equal(merged.targets, one_shot.targets)
+        for node_type in NODE_TYPES:
+            np.testing.assert_array_equal(merged.features[node_type],
+                                          one_shot.features[node_type])
+            np.testing.assert_array_equal(merged.type_positions[node_type],
+                                          one_shot.type_positions[node_type])
+        assert len(merged.levels) == len(one_shot.levels)
+        for mine, theirs in zip(merged.levels, one_shot.levels):
+            np.testing.assert_array_equal(mine.parent_ids, theirs.parent_ids)
+            np.testing.assert_array_equal(mine.edge_child_ids,
+                                          theirs.edge_child_ids)
+            np.testing.assert_array_equal(mine.edge_parent_slots,
+                                          theirs.edge_parent_slots)
+            assert list(mine.type_slots) == list(theirs.type_slots)
+            for node_type, slots in mine.type_slots.items():
+                np.testing.assert_array_equal(slots,
+                                              theirs.type_slots[node_type])
+
+    def test_encoded_graphs_rebatch_in_any_composition(self, tiny_imdb):
+        """Mini-batches drawn from one encode pass match freshly built
+        batches of the same graphs (what the trainer relies on)."""
+        graphs = self._graphs(tiny_imdb)
+        scalers = fit_scalers(graphs)
+        encoded = encode_graphs(graphs, scalers)
+        for subset in ([2, 0], [3, 1, 2], [1]):
+            merged = merge_encoded([encoded[i] for i in subset])
+            fresh = batch_graphs([graphs[i] for i in subset], scalers)
+            np.testing.assert_array_equal(merged.roots, fresh.roots)
+            for node_type in NODE_TYPES:
+                np.testing.assert_array_equal(merged.features[node_type],
+                                              fresh.features[node_type])
 
 
 class TestPlanGraphValidation:

@@ -96,6 +96,16 @@ class TestMSCNModel:
         with pytest.raises(ModelError):
             model.fit(samples)
 
+    def test_partially_labelled_batch_rejected(self, tiny_imdb_module,
+                                               imdb_workload):
+        from repro.models.mscn import collate_mscn
+        queries = [q for q, _, _ in imdb_workload]
+        featurizer = MSCNFeaturizer(tiny_imdb_module).fit(queries)
+        labelled = featurizer.featurize(queries[0], 0.5)
+        unlabelled = featurizer.featurize(queries[1])
+        with pytest.raises(ModelError, match="missing runtime"):
+            collate_mscn([labelled, unlabelled])
+
 
 class TestE2EModel:
     def test_learns_workload(self, tiny_imdb_module, imdb_workload):
