@@ -8,11 +8,13 @@ executor's performance trajectory (hash/merge/nested-loop kernels vs
 the historical sort-based kernel).
 """
 
+import os
 import time
 
 import numpy as np
 import pytest
 
+from repro.db import generate_training_database_specs
 from repro.engine import (
     Executor,
     JoinHashTable,
@@ -32,7 +34,12 @@ from repro.models import TrainerConfig, ZeroShotConfig, ZeroShotCostModel
 from repro.nn import BatchIterator, Tensor, no_grad
 from repro.optimizer import Planner
 from repro.runtime import RuntimeSimulator
-from repro.workload import make_benchmark_workload
+from repro.workload import (
+    ProcessPoolBackend,
+    SerialBackend,
+    collect_training_corpus_from_specs,
+    make_benchmark_workload,
+)
 
 
 @pytest.fixture(scope="module")
@@ -129,6 +136,89 @@ def test_hash_join_kernel_speedup(join_keys):
     assert speedup >= 3.0, (
         f"hash kernel only {speedup:.2f}x faster than the sort kernel "
         f"({sort_seconds * 1e3:.2f} ms vs {hash_seconds * 1e3:.2f} ms)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Sharded corpus-collection gates
+#
+# Collection used to be one serial loop over eagerly built databases;
+# it is now per-database shards on a pluggable backend.  Two gates: the
+# backends must agree bit for bit, and the process pool must actually
+# buy wall-clock at the default fleet.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fleet_specs(scale):
+    """The default-scale training fleet, as hydration specs."""
+    return generate_training_database_specs(
+        scale.num_training_databases, base_seed=scale.seed,
+        min_rows=scale.training_db_min_rows,
+        max_rows=scale.training_db_max_rows,
+    )
+
+
+@pytest.mark.parallel
+def test_backend_corpora_bit_identical(scale, fleet_specs):
+    """Serial and process-pool collection of the default fleet must
+    produce record-identical corpora (reduced query count keeps the
+    double collection affordable; the databases are the real fleet)."""
+    kwargs = dict(
+        seed=scale.seed,
+        random_indexes_per_database=scale.random_indexes_per_database,
+        noise_sigma=scale.training_noise_sigma,
+    )
+    serial = collect_training_corpus_from_specs(
+        fleet_specs, 25, backend=SerialBackend(), **kwargs)
+    parallel = collect_training_corpus_from_specs(
+        fleet_specs, 25, backend=ProcessPoolBackend(2), **kwargs)
+    assert list(serial.records_by_database) == \
+        list(parallel.records_by_database)
+    for name, serial_records in serial.records_by_database.items():
+        parallel_records = parallel.records_by_database[name]
+        assert len(serial_records) == len(parallel_records)
+        for a, b in zip(serial_records, parallel_records):
+            assert str(a.query) == str(b.query)
+            assert a.runtime_seconds == b.runtime_seconds
+            assert a.memory_peak_bytes == b.memory_peak_bytes
+            assert a.io_pages == b.io_pages
+            assert [n.actual_rows for n in a.plan.nodes()] == \
+                [n.actual_rows for n in b.plan.nodes()]
+
+
+@pytest.mark.parallel
+@pytest.mark.slow
+def test_parallel_collection_speedup(scale, fleet_specs):
+    """Acceptance gate: process-pool collection of the default-scale
+    corpus is ≥2× faster than serial with ≥4 workers."""
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"needs >=4 cores for a meaningful speedup gate, "
+                    f"have {cores}")
+    workers = max(4, min(len(fleet_specs), cores))
+    kwargs = dict(
+        seed=scale.seed,
+        random_indexes_per_database=scale.random_indexes_per_database,
+        noise_sigma=scale.training_noise_sigma,
+    )
+
+    start = time.perf_counter()
+    serial = collect_training_corpus_from_specs(
+        fleet_specs, scale.queries_per_database,
+        backend=SerialBackend(), **kwargs)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = collect_training_corpus_from_specs(
+        fleet_specs, scale.queries_per_database,
+        backend=ProcessPoolBackend(workers), **kwargs)
+    parallel_seconds = time.perf_counter() - start
+
+    assert serial.num_queries == parallel.num_queries
+    speedup = serial_seconds / parallel_seconds
+    assert speedup >= 2.0, (
+        f"process-pool collection only {speedup:.2f}x faster than serial "
+        f"with {workers} workers ({serial_seconds:.1f}s vs "
+        f"{parallel_seconds:.1f}s)"
     )
 
 

@@ -26,6 +26,7 @@ from repro.db import (
     Database,
     SyntheticDatabaseSpec,
     generate_database,
+    generate_training_database_specs,
     generate_training_databases,
     make_imdb_database,
 )
@@ -48,8 +49,11 @@ from repro.runtime import RuntimeSimulator, SystemParameters
 from repro.sql import parse_query, query_to_sql
 from repro.tuning import IndexAdvisor, ZeroShotWhatIfEstimator
 from repro.workload import (
+    ProcessPoolBackend,
+    SerialBackend,
     WorkloadRunner,
     collect_training_corpus,
+    collect_training_corpus_from_specs,
     generate_workload,
     make_benchmark_workload,
 )
@@ -62,7 +66,9 @@ __all__ = [
     "E2ECostModel",
     "IndexAdvisor",
     "MSCNCostModel",
+    "ProcessPoolBackend",
     "RuntimeSimulator",
+    "SerialBackend",
     "ScaledOptimizerCost",
     "SyntheticDatabaseSpec",
     "SystemParameters",
@@ -74,10 +80,12 @@ __all__ = [
     "ZeroShotWhatIfEstimator",
     "__version__",
     "collect_training_corpus",
+    "collect_training_corpus_from_specs",
     "execute_plan",
     "explain_plan",
     "fine_tune",
     "generate_database",
+    "generate_training_database_specs",
     "generate_training_databases",
     "generate_workload",
     "make_benchmark_workload",

@@ -8,7 +8,12 @@ IMDB-shaped evaluation database (the unseen holdout).
 """
 
 from repro.db.database import Database
-from repro.db.generator import SyntheticDatabaseSpec, generate_database, generate_training_databases
+from repro.db.generator import (
+    SyntheticDatabaseSpec,
+    generate_database,
+    generate_training_database_specs,
+    generate_training_databases,
+)
 from repro.db.histogram import EquiDepthHistogram
 from repro.db.imdb import make_imdb_database
 from repro.db.index import Index
@@ -32,6 +37,7 @@ __all__ = [
     "TableStatistics",
     "analyze_table",
     "generate_database",
+    "generate_training_database_specs",
     "generate_training_databases",
     "make_imdb_database",
 ]

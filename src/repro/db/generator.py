@@ -28,7 +28,12 @@ from repro.db.table_data import TableData
 from repro.db.types import DataType
 from repro.errors import SchemaError
 
-__all__ = ["SyntheticDatabaseSpec", "generate_database", "generate_training_databases"]
+__all__ = [
+    "SyntheticDatabaseSpec",
+    "generate_database",
+    "generate_training_database_specs",
+    "generate_training_databases",
+]
 
 
 @dataclass(frozen=True)
@@ -220,26 +225,46 @@ def generate_database(spec: SyntheticDatabaseSpec, analyze: bool = True) -> Data
     return database
 
 
-def generate_training_databases(count: int, base_seed: int = 0,
-                                min_rows: int = 2_000,
-                                max_rows: int = 30_000,
-                                analyze: bool = True) -> list[Database]:
-    """Generate the training fleet (the paper uses 19 databases).
+def generate_training_database_specs(count: int, base_seed: int = 0,
+                                     min_rows: int = 2_000,
+                                     max_rows: int = 30_000
+                                     ) -> list[SyntheticDatabaseSpec]:
+    """Specs of the training fleet, without materializing any data.
 
-    Databases deliberately differ in table count and size so the model
-    sees a spread of schema shapes.
+    Specs are cheap, picklable recipes: ``generate_database(spec)``
+    hydrates the actual :class:`Database` on demand (possibly in a
+    worker process).  Spec ``i`` depends only on ``base_seed`` and the
+    draws for specs ``0..i``, so the first ``k`` specs of a fleet of
+    ``n > k`` are identical to a fleet of ``k`` — the prefix property
+    the per-shard corpus cache relies on when a fleet grows.
     """
     if count <= 0:
         raise SchemaError(f"count must be positive, got {count}")
     seed_rng = np.random.default_rng(base_seed)
-    databases = []
+    specs = []
     for database_index in range(count):
-        spec = SyntheticDatabaseSpec(
+        specs.append(SyntheticDatabaseSpec(
             name=f"train_db_{database_index}",
             seed=int(seed_rng.integers(0, 2**31 - 1)),
             num_tables=int(seed_rng.integers(3, 8)),
             min_rows=min_rows,
             max_rows=max_rows,
-        )
-        databases.append(generate_database(spec, analyze=analyze))
-    return databases
+        ))
+    return specs
+
+
+def generate_training_databases(count: int, base_seed: int = 0,
+                                min_rows: int = 2_000,
+                                max_rows: int = 30_000,
+                                analyze: bool = True) -> list[Database]:
+    """Generate the training fleet eagerly (the paper uses 19 databases).
+
+    Databases deliberately differ in table count and size so the model
+    sees a spread of schema shapes.  This is the eager compatibility
+    path; sharded collection hydrates
+    :func:`generate_training_database_specs` on demand instead.
+    """
+    return [generate_database(spec, analyze=analyze) for spec in
+            generate_training_database_specs(count, base_seed=base_seed,
+                                             min_rows=min_rows,
+                                             max_rows=max_rows)]

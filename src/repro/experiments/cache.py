@@ -11,21 +11,36 @@ training-query pool — keyed by a content hash of the
 example script re-invoked with the same scale skips the one-time effort
 entirely.
 
-Layout (one directory per context key)::
+Besides whole contexts, the store holds **per-shard artifacts**: one
+training database's executed workload (the
+:class:`~repro.workload.backends.ShardExecution` of one
+:class:`~repro.workload.backends.CorpusShard`), keyed by a content hash
+of the shard — database spec, workload spec, index/runner seeds and
+system parameters.  Shard keys do not involve the fleet size, so
+growing ``num_training_databases`` from 8 to 12 re-executes only the 4
+new databases' workloads, and every fleet-size sweep (the learning
+curve) reuses the shards it has already paid for.
 
-    <root>/v1/ctx-<hash>/
+Layout (one directory per context key, one per shard key)::
+
+    <root>/v2/ctx-<hash>/
         scale.json          # provenance: the exact scale + pool flag
-        corpus.pkl          # TrainingCorpus.save (records + databases)
+        corpus/             # TrainingCorpus.save (per-database shards)
         models/estimated/   # ZeroShotCostModel.save (weights + scalers)
         models/actual/
         context.pkl         # IMDB holdout, evaluation records, pool
         COMPLETE            # written last; absent => entry is ignored
+    <root>/v2/shards/shard-<hash>/
+        shard.json          # provenance: database name, queries, seeds
+        payload.pkl         # pickled ShardExecution
+        COMPLETE
 
 The root directory resolves, in order: explicit constructor argument,
 the ``REPRO_CACHE_DIR`` environment variable, ``~/.cache/repro``.
 Setting ``REPRO_CACHE=0`` disables the store globally (every
 ``build_context`` call rebuilds from scratch); ``python -m
-repro.experiments.cache --clear`` empties it, ``--stat`` lists entries.
+repro.experiments.cache --clear`` empties it (shards included),
+``--stat`` lists context *and* shard entries.
 """
 
 from __future__ import annotations
@@ -42,21 +57,25 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, WorkloadError
 from repro.featurize.graph import CardinalitySource
 from repro.models import ZeroShotCostModel
+from repro.workload.backends import CorpusShard, ShardExecution
 from repro.workload.corpus import TrainingCorpus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with setup.py
     from repro.experiments.setup import ExperimentContext, ExperimentScale
 
-__all__ = ["ArtifactStore", "cache_enabled", "context_key", "main"]
+__all__ = ["ArtifactStore", "cache_enabled", "context_key", "main",
+           "shard_key"]
 
 #: Bump when the on-disk layout or any pickled type changes shape; old
 #: entries are simply never matched again (and ``--clear`` removes them).
-CACHE_FORMAT_VERSION = "v1"
+#: v2: sharded corpus directories + per-shard artifacts.
+CACHE_FORMAT_VERSION = "v2"
 
 _COMPLETE_MARKER = "COMPLETE"
+_SHARDS_DIR_NAME = "shards"
 _MODEL_DIRS = {
     CardinalitySource.ESTIMATED: "estimated",
     CardinalitySource.ACTUAL: "actual",
@@ -93,6 +112,22 @@ def context_key(scale: "ExperimentScale", with_imdb_pool: bool = True) -> str:
     return f"ctx-{digest[:16]}"
 
 
+def shard_key(shard: CorpusShard) -> str:
+    """Content hash of one corpus shard's complete recipe.
+
+    A :class:`~repro.workload.backends.CorpusShard` is a frozen
+    dataclass of plain values — database spec, workload spec, index and
+    runner seeds, random-index count, noise sigma and system parameters
+    — so its ``asdict`` form is everything that determines the shard's
+    records.  Deliberately *not* keyed: fleet size and backend choice,
+    which do not change the records.
+    """
+    digest = hashlib.sha256(
+        json.dumps(asdict(shard), sort_keys=True, default=str).encode()
+    ).hexdigest()
+    return f"shard-{digest[:16]}"
+
+
 class ArtifactStore:
     """Directory-backed store of experiment contexts."""
 
@@ -113,13 +148,41 @@ class ArtifactStore:
                 / _COMPLETE_MARKER).is_file()
 
     # ------------------------------------------------------------------
+    def _publish(self, staging: Path, entry: Path) -> Path:
+        """Atomically promote a fully written staging dir to ``entry``.
+
+        The ``COMPLETE`` marker inside ``staging`` was written last, so
+        whatever ends up at ``entry`` is either absent, ignored
+        (markerless), or complete — a crashed or concurrent writer can
+        never produce a readable half-entry.
+        """
+        if (entry / _COMPLETE_MARKER).is_file():
+            # A concurrent writer finished first; same key => same bytes.
+            shutil.rmtree(staging, ignore_errors=True)
+            return entry
+        if entry.exists():
+            # Incomplete leftover (crashed writer, interrupted clear):
+            # replace it, otherwise the key would miss forever.  Re-check
+            # the marker right before deleting — a concurrent writer may
+            # have completed the entry since the check above.
+            if (entry / _COMPLETE_MARKER).is_file():
+                shutil.rmtree(staging, ignore_errors=True)
+                return entry
+            shutil.rmtree(entry, ignore_errors=True)
+        try:
+            os.replace(staging, entry)
+        except OSError:
+            # Lost a replace race after the marker check; the winner's
+            # entry is equivalent, so just drop the staging copy.
+            shutil.rmtree(staging, ignore_errors=True)
+        return entry
+
     def save_context(self, context: "ExperimentContext",
                      with_imdb_pool: bool = True) -> Path:
         """Persist a freshly built context; returns its entry directory.
 
         The entry is staged under a temporary name and renamed into
-        place, with the ``COMPLETE`` marker written last — a crashed or
-        concurrent writer can never produce a readable half-entry.
+        place, with the ``COMPLETE`` marker written last.
         """
         entry = self.entry_dir(context.scale, with_imdb_pool)
         staging = entry.with_name(entry.name + f".tmp-{os.getpid()}")
@@ -133,7 +196,7 @@ class ArtifactStore:
                     "with_imdb_pool": with_imdb_pool,
                     "created_unix": time.time(),
                 }, handle, indent=2, default=str)
-            context.corpus.save(staging / "corpus.pkl")
+            context.corpus.save(staging / "corpus")
             for source, model in context.zero_shot_models.items():
                 model.save(staging / "models" / _MODEL_DIRS[source])
             with open(staging / "context.pkl", "wb") as handle:
@@ -152,21 +215,7 @@ class ArtifactStore:
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
-        if (entry / _COMPLETE_MARKER).is_file():
-            # A concurrent writer finished first; same key => same bytes.
-            shutil.rmtree(staging, ignore_errors=True)
-            return entry
-        if entry.exists():
-            # Incomplete leftover (crashed writer, interrupted clear):
-            # replace it, otherwise the key would miss forever.
-            shutil.rmtree(entry, ignore_errors=True)
-        try:
-            os.replace(staging, entry)
-        except OSError:
-            # Lost a replace race after the marker check; the winner's
-            # entry is equivalent, so just drop the staging copy.
-            shutil.rmtree(staging, ignore_errors=True)
-        return entry
+        return self._publish(staging, entry)
 
     def load_context(self, scale: "ExperimentScale",
                      with_imdb_pool: bool = True) -> "ExperimentContext | None":
@@ -176,9 +225,13 @@ class ArtifactStore:
         entry = self.entry_dir(scale, with_imdb_pool)
         if not (entry / _COMPLETE_MARKER).is_file():
             return None
-        corpus = TrainingCorpus.load(entry / "corpus.pkl")
-        with open(entry / "context.pkl", "rb") as handle:
-            payload = pickle.load(handle)
+        try:
+            corpus = TrainingCorpus.load(entry / "corpus")
+            with open(entry / "context.pkl", "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, WorkloadError):
+            # Entry deleted under us (racing --clear): treat as a miss.
+            return None
         models: dict[CardinalitySource, ZeroShotCostModel] = {}
         for source, name in _MODEL_DIRS.items():
             model = ZeroShotCostModel.load(entry / "models" / name)
@@ -203,8 +256,92 @@ class ArtifactStore:
         )
 
     # ------------------------------------------------------------------
+    # Per-shard artifacts: one training database's executed workload.
+    # ------------------------------------------------------------------
+    def shard_dir(self, shard: CorpusShard) -> Path:
+        return self._version_dir() / _SHARDS_DIR_NAME / shard_key(shard)
+
+    def has_shard(self, shard: CorpusShard) -> bool:
+        return (self.shard_dir(shard) / _COMPLETE_MARKER).is_file()
+
+    def save_shard(self, execution: ShardExecution) -> Path:
+        """Persist one executed shard; returns its entry directory.
+
+        Same COMPLETE-marker discipline as contexts: two writers racing
+        on the same shard key cannot corrupt it — one publishes, the
+        other notices the marker and discards its staging copy.
+        """
+        entry = self.shard_dir(execution.shard)
+        staging = entry.with_name(entry.name + f".tmp-{os.getpid()}")
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            with open(staging / "shard.json", "w") as handle:
+                json.dump({
+                    "database": execution.database.name,
+                    "num_records": len(execution.records),
+                    "shard": asdict(execution.shard),
+                    "created_unix": time.time(),
+                }, handle, indent=2, default=str)
+            with open(staging / "payload.pkl", "wb") as handle:
+                pickle.dump(execution, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            (staging / _COMPLETE_MARKER).write_text("ok\n")
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return self._publish(staging, entry)
+
+    def load_shard(self, shard: CorpusShard) -> ShardExecution | None:
+        """Load one shard's execution, or ``None`` on a cold entry.
+
+        A concurrently deleted entry (e.g. a racing ``--clear``) reads
+        as a miss, not a crash — the caller re-executes the shard.
+        """
+        entry = self.shard_dir(shard)
+        if not (entry / _COMPLETE_MARKER).is_file():
+            return None
+        try:
+            with open(entry / "payload.pkl", "rb") as handle:
+                execution = pickle.load(handle)
+        except OSError:
+            return None
+        if not isinstance(execution, ShardExecution):
+            raise ExperimentError(
+                f"shard entry {entry.name} does not contain a "
+                f"ShardExecution (got {type(execution).__name__})"
+            )
+        return execution
+
+    def shard_entries(self) -> list[dict]:
+        """Metadata for every complete shard entry (for ``--stat``)."""
+        shards_dir = self._version_dir() / _SHARDS_DIR_NAME
+        if not shards_dir.is_dir():
+            return []
+        found = []
+        for entry in sorted(shards_dir.iterdir()):
+            if not (entry / _COMPLETE_MARKER).is_file():
+                continue
+            size = sum(f.stat().st_size
+                       for f in entry.rglob("*") if f.is_file())
+            info = {"key": entry.name, "bytes": size}
+            try:
+                with open(entry / "shard.json") as handle:
+                    provenance = json.load(handle)
+                info["database"] = provenance.get("database")
+                info["num_records"] = provenance.get("num_records")
+                shard = provenance.get("shard", {})
+                info["seed"] = shard.get("database_spec", {}).get("seed")
+                info["created_unix"] = provenance.get("created_unix")
+            except (OSError, json.JSONDecodeError):
+                pass
+            found.append(info)
+        return found
+
+    # ------------------------------------------------------------------
     def entries(self) -> list[dict]:
-        """Metadata for every complete entry (for ``--stat``)."""
+        """Metadata for every complete context entry (for ``--stat``)."""
         version_dir = self._version_dir()
         if not version_dir.is_dir():
             return []
@@ -231,7 +368,8 @@ class ArtifactStore:
         return found
 
     def clear(self) -> int:
-        """Delete every entry (all format versions); returns the count."""
+        """Delete every entry (all format versions, contexts *and*
+        shards); returns the count of removed entries."""
         if not self.root.is_dir():
             return 0
         removed = 0
@@ -239,8 +377,11 @@ class ArtifactStore:
             if not version_dir.is_dir():
                 continue
             for entry in version_dir.iterdir():
+                if entry.name == _SHARDS_DIR_NAME and entry.is_dir():
+                    removed += sum(1 for _ in entry.iterdir())
+                else:
+                    removed += 1
                 shutil.rmtree(entry, ignore_errors=True)
-                removed += 1
             shutil.rmtree(version_dir, ignore_errors=True)
         return removed
 
@@ -276,13 +417,15 @@ def main(argv: list[str] | None = None) -> int:
     store = ArtifactStore(args.dir)
     if args.clear:
         removed = store.clear()
-        print(f"cleared {removed} cached context(s) from {store.root}")
+        print(f"cleared {removed} cached entr"
+              f"{'y' if removed == 1 else 'ies'} from {store.root}")
         return 0
 
     entries = store.entries()
+    shard_entries = store.shard_entries()
     print(f"artifact store: {store.root} "
           f"({'enabled' if cache_enabled() else 'DISABLED via REPRO_CACHE=0'})")
-    if not entries:
+    if not entries and not shard_entries:
         print("  (empty)")
         return 0
     total = 0
@@ -296,8 +439,20 @@ def main(argv: list[str] | None = None) -> int:
                           f" pool={info.get('with_imdb_pool')}")
         print(f"  {info['key']}  {_format_bytes(info['bytes']):>10}"
               f"{scale_hint}")
-    print(f"  total: {_format_bytes(total)} in {len(entries)} entr"
-          f"{'y' if len(entries) == 1 else 'ies'}")
+    shard_total = 0
+    for info in shard_entries:
+        shard_total += info["bytes"]
+        shard_hint = ""
+        if info.get("database") is not None:
+            shard_hint = (f"  db={info['database']}"
+                          f" records={info.get('num_records')}")
+        print(f"  {info['key']}  {_format_bytes(info['bytes']):>10}"
+              f"{shard_hint}")
+    total += shard_total
+    print(f"  total: {_format_bytes(total)} in {len(entries)} context "
+          f"entr{'y' if len(entries) == 1 else 'ies'} + "
+          f"{len(shard_entries)} shard entr"
+          f"{'y' if len(shard_entries) == 1 else 'ies'}")
     return 0
 
 

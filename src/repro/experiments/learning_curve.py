@@ -8,6 +8,14 @@ the performance stagnated."*
 This driver retrains the zero-shot model on growing prefixes of the
 training fleet and reports the median Q-error on the unseen IMDB
 holdout (mixed over the three benchmark workloads).
+
+Corpus shards are collected once and reused across every fleet-size
+point: per-shard seeds depend only on ``(seed, shard_index)``, so the
+records of databases ``0..k`` are identical whichever fleet size they
+were collected under — a prefix of the full corpus *is* the corpus of
+the smaller fleet.  Sweeping ``num_training_databases`` across separate
+``build_context`` calls reuses the same shards through the persistent
+shard cache instead of re-executing them.
 """
 
 from __future__ import annotations
@@ -43,11 +51,19 @@ class LearningCurveResult:
 def run_learning_curve(scale: ExperimentScale | None = None,
                        context: ExperimentContext | None = None,
                        source: CardinalitySource = CardinalitySource.ACTUAL,
-                       database_counts: list[int] | None = None
+                       database_counts: list[int] | None = None,
+                       workers: int | None = None
                        ) -> LearningCurveResult:
-    """Train on 1..N databases; evaluate each model on unseen IMDB."""
+    """Train on 1..N databases; evaluate each model on unseen IMDB.
+
+    Each fleet-size point featurizes a prefix of the shard-collected
+    corpus — no workload is ever re-executed for a smaller fleet.
+    ``workers`` parallelizes the initial collection (ignored when a
+    ``context`` is supplied).
+    """
     if context is None:
-        context = build_context(scale, with_imdb_pool=False)
+        context = build_context(scale, with_imdb_pool=False,
+                                workers=workers)
     names = list(context.corpus.records_by_database)
     if database_counts is None:
         total = len(names)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.db import generate_training_databases, make_imdb_database
+from repro.db import generate_training_database_specs, make_imdb_database
 from repro.db.database import Database
 from repro.errors import ExperimentError
 from repro.featurize.graph import CardinalitySource
@@ -33,10 +33,12 @@ from repro.workload import (
     BENCHMARK_NAMES,
     WorkloadRunner,
     WorkloadSpec,
-    collect_training_corpus,
+    collect_training_corpus_from_specs,
     generate_workload,
     make_benchmark_workload,
+    resolve_backend,
 )
+from repro.workload.backends import ExecutionBackend
 from repro.workload.corpus import TrainingCorpus
 from repro.workload.runner import ExecutedQueryRecord
 
@@ -78,8 +80,33 @@ class ExperimentScale:
     seed: int = 0
 
     def __post_init__(self):
+        # Eager validation: a bad scale must fail here, at construction,
+        # not minutes later deep inside corpus collection.
         if self.num_training_databases < 1:
             raise ExperimentError("need at least one training database")
+        if self.queries_per_database < 1:
+            raise ExperimentError(
+                f"queries_per_database must be positive, got "
+                f"{self.queries_per_database}"
+            )
+        if self.random_indexes_per_database < 0:
+            raise ExperimentError(
+                f"random_indexes_per_database must be non-negative, got "
+                f"{self.random_indexes_per_database}"
+            )
+        if self.evaluation_queries < 1:
+            raise ExperimentError(
+                f"evaluation_queries must be positive, got "
+                f"{self.evaluation_queries}"
+            )
+        if self.training_db_min_rows < 1 or \
+                self.training_db_max_rows < self.training_db_min_rows:
+            raise ExperimentError(
+                f"invalid training row bounds "
+                f"[{self.training_db_min_rows}, {self.training_db_max_rows}]"
+            )
+        if self.seed < 0:
+            raise ExperimentError(f"seed must be non-negative, got {self.seed}")
         if not self.training_budgets:
             raise ExperimentError("need at least one training budget")
 
@@ -168,7 +195,10 @@ def train_zero_shot_models(corpus: TrainingCorpus, scale: ExperimentScale,
 def build_context(scale: ExperimentScale | None = None,
                   with_imdb_pool: bool = True,
                   store: "ArtifactStore | None" = None,
-                  use_cache: bool | None = None) -> ExperimentContext:
+                  use_cache: bool | None = None,
+                  workers: int | None = None,
+                  backend: "ExecutionBackend | None" = None
+                  ) -> ExperimentContext:
     """Run the one-time setup and return the shared context.
 
     The result is keyed by a content hash of ``scale`` (+ the pool
@@ -178,10 +208,21 @@ def build_context(scale: ExperimentScale | None = None,
     the ``REPRO_CACHE`` environment variable (on unless set to ``0``);
     ``store=None`` uses the default store rooted at ``REPRO_CACHE_DIR``
     or ``~/.cache/repro``.
+
+    Corpus collection is sharded per training database and runs on an
+    execution backend: ``workers`` (or the ``REPRO_WORKERS`` environment
+    variable) selects a process pool, the default is serial — the corpus
+    is record-identical either way.  With the cache on, each executed
+    shard is persisted individually, so raising
+    ``num_training_databases`` re-executes only the new databases'
+    workloads and serves the rest from the shard cache.
     """
     from repro.experiments.cache import ArtifactStore, cache_enabled
 
     scale = scale or ExperimentScale.default()
+    # Resolve (and validate) the backend before the cache lookup so a
+    # bad worker count fails the same way warm or cold.
+    backend = resolve_backend(workers, backend)
     if use_cache is None:
         use_cache = cache_enabled()
     if use_cache:
@@ -192,18 +233,23 @@ def build_context(scale: ExperimentScale | None = None,
 
     rng = np.random.default_rng(scale.seed)
 
-    # 1. Training fleet + corpus (random physical designs included, §4.1).
-    training_databases = generate_training_databases(
+    # 1. Training fleet + corpus (random physical designs included,
+    #    §4.1): hydrate specs on demand, shard per database, reuse any
+    #    shard the store has already paid for.
+    specs = generate_training_database_specs(
         scale.num_training_databases, base_seed=scale.seed,
         min_rows=scale.training_db_min_rows,
         max_rows=scale.training_db_max_rows,
     )
-    corpus = collect_training_corpus(
-        training_databases, scale.queries_per_database,
+    corpus = collect_training_corpus_from_specs(
+        specs, scale.queries_per_database,
         seed=scale.seed,
         random_indexes_per_database=scale.random_indexes_per_database,
         noise_sigma=scale.training_noise_sigma,
+        backend=backend,
+        store=store if use_cache else None,
     )
+    training_databases = [corpus.databases[spec.name] for spec in specs]
 
     # 2. Zero-shot models (the one-time training effort).
     zero_shot_models = train_zero_shot_models(corpus, scale)

@@ -10,23 +10,49 @@
 * :mod:`~repro.workload.corpus` — assemble the multi-database training
   corpus, optionally under random physical designs (for what-if
   training, §4.1).
+* :mod:`~repro.workload.backends` — sharded collection: per-database
+  :class:`CorpusShard` units executed by a pluggable
+  :class:`ExecutionBackend` (serial or process pool, record-identical).
 """
 
+from repro.workload.backends import (
+    CorpusShard,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardExecution,
+    execute_shard,
+    make_corpus_shards,
+    resolve_backend,
+)
 from repro.workload.benchmarks import (
     BENCHMARK_NAMES,
     make_benchmark_workload,
 )
-from repro.workload.corpus import TrainingCorpus, collect_training_corpus
+from repro.workload.corpus import (
+    TrainingCorpus,
+    collect_training_corpus,
+    collect_training_corpus_from_specs,
+)
 from repro.workload.generator import WorkloadSpec, generate_workload
 from repro.workload.runner import ExecutedQueryRecord, WorkloadRunner
 
 __all__ = [
     "BENCHMARK_NAMES",
+    "CorpusShard",
     "ExecutedQueryRecord",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardExecution",
     "TrainingCorpus",
     "WorkloadRunner",
     "WorkloadSpec",
     "collect_training_corpus",
+    "collect_training_corpus_from_specs",
+    "execute_shard",
     "generate_workload",
     "make_benchmark_workload",
+    "make_corpus_shards",
+    "resolve_backend",
 ]

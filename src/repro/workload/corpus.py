@@ -5,24 +5,56 @@ database — optionally after creating a random but fixed set of indexes
 per database, exactly as the paper does for what-if/index training
 (§4.1: "we additionally created a random but fixed set of indexes per
 database before running the training queries").
+
+``collect_training_corpus_from_specs`` is the sharded path: it takes
+cheap database *specs* instead of materialized databases, builds one
+:class:`~repro.workload.backends.CorpusShard` per spec with
+deterministic per-shard seeds, and runs them through an
+:class:`~repro.workload.backends.ExecutionBackend` — serially by
+default, or across worker processes.  With a shard-capable store,
+already-executed shards are loaded from disk instead of re-run, so
+growing a fleet only executes the new databases' workloads.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.db.database import Database
+from repro.db.generator import SyntheticDatabaseSpec
 from repro.errors import WorkloadError
 from repro.featurize.graph import CardinalitySource, PlanGraph, ZeroShotFeaturizer
 from repro.runtime import SystemParameters
+from repro.workload.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ShardExecution,
+    make_corpus_shards,
+)
 from repro.workload.generator import WorkloadSpec, generate_workload
 from repro.workload.runner import ExecutedQueryRecord, WorkloadRunner
 
-__all__ = ["TrainingCorpus", "collect_training_corpus", "create_random_indexes"]
+if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle
+    from repro.experiments.cache import ArtifactStore
+
+__all__ = [
+    "TrainingCorpus",
+    "collect_training_corpus",
+    "collect_training_corpus_from_specs",
+    "create_random_indexes",
+]
+
+#: Bump when the on-disk corpus layout changes shape.
+_CORPUS_FORMAT = 2
+_MANIFEST_NAME = "manifest.json"
+_SHARDS_DIR = "shards"
 
 
 @dataclass
@@ -82,25 +114,101 @@ class TrainingCorpus:
     # ------------------------------------------------------------------
     # Persistence (the experiment artifact store round-trips corpora so
     # the one-time training-data collection really happens one time).
+    #
+    # The on-disk form is a directory of per-database shards: loading
+    # one database's records (``load_shard``) unpickles one small file,
+    # not the whole fleet.
     # ------------------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
-        """Serialize the corpus (records *and* databases) to ``path``.
+        """Serialize the corpus to the directory ``path``.
 
-        One file keeps shared object identity: plans that reference a
-        database deserialize pointing at the same database object.
+        Layout::
+
+            <path>/manifest.json          # name -> shard file, in order
+            <path>/shards/shard-0000.pkl  # one database + its records
+
+        Each shard file pickles its database together with its records,
+        preserving shared object identity within the shard.
         """
-        with open(path, "wb") as handle:
-            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        root = Path(path)
+        shards_dir = root / _SHARDS_DIR
+        shards_dir.mkdir(parents=True, exist_ok=True)
+        manifest = {"format": _CORPUS_FORMAT, "shards": []}
+        for index, name in enumerate(self.records_by_database):
+            file_name = f"shard-{index:04d}.pkl"
+            with open(shards_dir / file_name, "wb") as handle:
+                pickle.dump({
+                    "name": name,
+                    "database": self.databases[name],
+                    "records": self.records_by_database[name],
+                }, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            manifest["shards"].append({"name": name, "file": file_name})
+        with open(root / _MANIFEST_NAME, "w") as handle:
+            json.dump(manifest, handle, indent=2)
+
+    @staticmethod
+    def _read_manifest(root: Path) -> dict:
+        try:
+            with open(root / _MANIFEST_NAME) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise WorkloadError(
+                f"{root!s} is not a saved TrainingCorpus: {error}"
+            ) from None
+        if manifest.get("format") != _CORPUS_FORMAT:
+            raise WorkloadError(
+                f"unsupported corpus format {manifest.get('format')!r} "
+                f"in {root!s} (expected {_CORPUS_FORMAT})"
+            )
+        return manifest
+
+    @classmethod
+    def _load_shard_file(cls, path: Path, name: str
+                         ) -> tuple[Database, list[ExecutedQueryRecord]]:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("name") != name:
+            raise WorkloadError(
+                f"corpus shard {path!s} does not contain database {name!r}"
+            )
+        return payload["database"], payload["records"]
+
+    @classmethod
+    def load_shard(cls, path: str | os.PathLike, name: str
+                   ) -> tuple[Database, list[ExecutedQueryRecord]]:
+        """Load one database's shard without touching the rest."""
+        root = Path(path)
+        manifest = cls._read_manifest(root)
+        for entry in manifest["shards"]:
+            if entry["name"] == name:
+                return cls._load_shard_file(
+                    root / _SHARDS_DIR / entry["file"], name)
+        raise WorkloadError(f"corpus at {root!s} has no database {name!r}")
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "TrainingCorpus":
-        with open(path, "rb") as handle:
-            corpus = pickle.load(handle)
-        if not isinstance(corpus, cls):
-            raise WorkloadError(
-                f"{os.fspath(path)!r} does not contain a TrainingCorpus "
-                f"(got {type(corpus).__name__})"
-            )
+        """Load a corpus saved by :meth:`save`.
+
+        Single-file pickles written by older versions of the library
+        are still understood.
+        """
+        root = Path(path)
+        if root.is_file():  # legacy one-file layout
+            with open(root, "rb") as handle:
+                corpus = pickle.load(handle)
+            if not isinstance(corpus, cls):
+                raise WorkloadError(
+                    f"{os.fspath(path)!r} does not contain a TrainingCorpus "
+                    f"(got {type(corpus).__name__})"
+                )
+            return corpus
+        manifest = cls._read_manifest(root)
+        corpus = cls()
+        for entry in manifest["shards"]:
+            database, records = cls._load_shard_file(
+                root / _SHARDS_DIR / entry["file"], entry["name"])
+            corpus.records_by_database[entry["name"]] = records
+            corpus.databases[entry["name"]] = database
         return corpus
 
 
@@ -177,4 +285,60 @@ def collect_training_corpus(databases: list[Database],
         )
         corpus.records_by_database[database.name] = runner.run(queries)
         corpus.databases[database.name] = database
+    return corpus
+
+
+def collect_training_corpus_from_specs(
+        specs: list[SyntheticDatabaseSpec],
+        queries_per_database: int,
+        seed: int = 0,
+        random_indexes_per_database: int = 0,
+        workload_spec: WorkloadSpec | None = None,
+        system: SystemParameters | None = None,
+        noise_sigma: float = 0.06,
+        backend: ExecutionBackend | None = None,
+        store: "ArtifactStore | None" = None) -> TrainingCorpus:
+    """Sharded corpus collection: one unit of work per database spec.
+
+    Every shard's seeds derive from ``(seed, shard_index)`` alone, so
+    the corpus is **record-identical** whichever backend runs it and
+    however many databases the fleet has.  With a ``store``, shards
+    already on disk are loaded instead of executed, and freshly
+    executed shards are persisted — growing a fleet from 8 to 12
+    databases executes exactly 4 shards.
+    """
+    if not specs:
+        raise WorkloadError("need at least one training database spec")
+    if queries_per_database <= 0:
+        raise WorkloadError("queries_per_database must be positive")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise WorkloadError("database spec names must be unique")
+    backend = backend or SerialBackend()
+    shards = make_corpus_shards(
+        specs, queries_per_database, seed=seed,
+        random_indexes_per_database=random_indexes_per_database,
+        workload_spec=workload_spec, system=system, noise_sigma=noise_sigma,
+    )
+
+    executions: dict[int, ShardExecution] = {}
+    pending: list[tuple[int, "CorpusShard"]] = []
+    for index, shard in enumerate(shards):
+        cached = store.load_shard(shard) if store is not None else None
+        if cached is not None:
+            executions[index] = cached
+        else:
+            pending.append((index, shard))
+    if pending:
+        fresh = backend.run([shard for _, shard in pending])
+        for (index, _), execution in zip(pending, fresh):
+            if store is not None:
+                store.save_shard(execution)
+            executions[index] = execution
+
+    corpus = TrainingCorpus()
+    for index in range(len(shards)):
+        execution = executions[index]
+        corpus.records_by_database[execution.database.name] = execution.records
+        corpus.databases[execution.database.name] = execution.database
     return corpus

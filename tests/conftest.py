@@ -19,11 +19,22 @@ from repro.db import (
 )
 
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "artifact_cache: exercises the persistent experiment artifact store",
-    )
+@pytest.fixture(scope="session", autouse=True)
+def _force_serial_backend():
+    """Pin corpus collection to the SerialBackend for unit tests.
+
+    An ambient ``REPRO_WORKERS`` must not switch the suite onto the
+    process pool: unit tests want deterministic, single-process
+    execution (tests that exercise the pool construct
+    ``ProcessPoolBackend`` explicitly).
+    """
+    previous = os.environ.get("REPRO_WORKERS")
+    os.environ["REPRO_WORKERS"] = "1"
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_WORKERS", None)
+    else:
+        os.environ["REPRO_WORKERS"] = previous
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -10,15 +10,27 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.db import generate_training_database_specs
 from repro.experiments import (
     ArtifactStore,
     ExperimentScale,
     build_context,
 )
 from repro.experiments import setup as experiment_setup
-from repro.experiments.cache import cache_enabled, context_key, main
+from repro.experiments.cache import (
+    cache_enabled,
+    context_key,
+    main,
+    shard_key,
+)
 from repro.featurize import CardinalitySource, ZeroShotFeaturizer
 from repro.models import TrainerConfig, ZeroShotConfig
+from repro.workload import (
+    SerialBackend,
+    collect_training_corpus_from_specs,
+    execute_shard,
+    make_corpus_shards,
+)
 
 pytestmark = pytest.mark.artifact_cache
 
@@ -61,9 +73,10 @@ class TestRoundTrip:
             raise AssertionError("one-time effort repeated on a warm cache")
 
         monkeypatch.setattr(experiment_setup, "train_zero_shot_models", poison)
-        monkeypatch.setattr(experiment_setup, "collect_training_corpus", poison)
-        monkeypatch.setattr(experiment_setup, "generate_training_databases",
-                            poison)
+        monkeypatch.setattr(experiment_setup,
+                            "collect_training_corpus_from_specs", poison)
+        monkeypatch.setattr(experiment_setup,
+                            "generate_training_database_specs", poison)
         context = build_context(tiny_scale(), with_imdb_pool=False,
                                 store=store, use_cache=True)
         assert context.corpus.num_queries == 2 * 25
@@ -116,6 +129,14 @@ class TestRoundTrip:
                       use_cache=False)
         assert not sentinel["loaded"]
 
+    def test_invalid_workers_rejected_even_on_warm_cache(self, warm_store):
+        """A bad worker count must fail identically warm or cold."""
+        from repro.errors import ExperimentError
+        store, _ = warm_store
+        with pytest.raises(ExperimentError):
+            build_context(tiny_scale(), with_imdb_pool=False, store=store,
+                          use_cache=True, workers=0)
+
     def test_repro_cache_env_disables(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE", "0")
         assert not cache_enabled()
@@ -159,15 +180,129 @@ class TestKeying:
         assert reloaded.corpus.num_queries == context.corpus.num_queries
 
 
+class TestShardStore:
+    """Per-shard artifacts: the incremental half of the store."""
+
+    @pytest.fixture(scope="class")
+    def tiny_shards(self):
+        specs = generate_training_database_specs(
+            2, base_seed=41, min_rows=200, max_rows=900)
+        return make_corpus_shards(specs, 8, seed=41,
+                                  random_indexes_per_database=1)
+
+    @pytest.fixture(scope="class")
+    def executed(self, tiny_shards):
+        return execute_shard(tiny_shards[0])
+
+    def test_roundtrip(self, tmp_path, tiny_shards, executed):
+        store = ArtifactStore(tmp_path)
+        assert not store.has_shard(tiny_shards[0])
+        assert store.load_shard(tiny_shards[0]) is None
+        store.save_shard(executed)
+        assert store.has_shard(tiny_shards[0])
+        loaded = store.load_shard(tiny_shards[0])
+        assert loaded.database.name == executed.database.name
+        assert [r.runtime_seconds for r in loaded.records] == \
+            [r.runtime_seconds for r in executed.records]
+        # The other shard's key stays cold.
+        assert store.load_shard(tiny_shards[1]) is None
+
+    def test_key_covers_the_recipe(self, tiny_shards):
+        base = tiny_shards[0]
+        assert shard_key(base) == shard_key(base)
+        assert shard_key(base) != shard_key(tiny_shards[1])
+        reseeded = dataclasses.replace(base, runner_seed=base.runner_seed + 1)
+        assert shard_key(base) != shard_key(reseeded)
+        fewer = dataclasses.replace(
+            base,
+            workload_spec=dataclasses.replace(base.workload_spec,
+                                              num_queries=3))
+        assert shard_key(base) != shard_key(fewer)
+
+    def test_racing_writers_do_not_corrupt(self, tmp_path, tiny_shards,
+                                           executed):
+        """Two writers on the same shard key: the loser's staging copy
+        is discarded, the winner's complete entry survives untouched."""
+        store = ArtifactStore(tmp_path)
+        shard = tiny_shards[0]
+
+        # Writer A publishes first.
+        entry = store.save_shard(executed)
+        marker = (entry / "COMPLETE").stat().st_mtime_ns
+
+        # Writer B finished its staging copy while A held the entry:
+        # its publish must notice A's COMPLETE marker and stand down.
+        second = store.save_shard(executed)
+        assert second == entry
+        assert (entry / "COMPLETE").stat().st_mtime_ns == marker
+        assert not list(entry.parent.glob("*.tmp-*")), \
+            "staging leftovers after a lost race"
+        loaded = store.load_shard(shard)
+        assert [r.runtime_seconds for r in loaded.records] == \
+            [r.runtime_seconds for r in executed.records]
+
+    def test_incomplete_shard_is_a_miss_and_replaced(self, tmp_path,
+                                                     tiny_shards, executed):
+        """A crashed writer's markerless leftover must not poison the key."""
+        store = ArtifactStore(tmp_path)
+        shard = tiny_shards[0]
+        leftover = store.shard_dir(shard)
+        leftover.mkdir(parents=True)       # no COMPLETE marker
+        (leftover / "payload.pkl").write_bytes(b"garbage")
+        assert store.load_shard(shard) is None
+        store.save_shard(executed)
+        assert store.has_shard(shard)
+        assert store.load_shard(shard).database.name == executed.database.name
+
+    def test_growing_fleet_reuses_shards(self, tmp_path):
+        """8 -> 12 databases must execute exactly the 4 new shards."""
+        store = ArtifactStore(tmp_path)
+        executed_names = []
+
+        class CountingBackend(SerialBackend):
+            def run(self, shards):
+                executed_names.extend(
+                    s.database_spec.name for s in shards)
+                return super().run(shards)
+
+        specs3 = generate_training_database_specs(
+            3, base_seed=13, min_rows=200, max_rows=900)
+        small = collect_training_corpus_from_specs(
+            specs3[:2], 6, seed=13, backend=CountingBackend(), store=store)
+        assert executed_names == ["train_db_0", "train_db_1"]
+
+        grown = collect_training_corpus_from_specs(
+            specs3, 6, seed=13, backend=CountingBackend(), store=store)
+        assert executed_names == ["train_db_0", "train_db_1", "train_db_2"]
+        assert grown.num_databases == 3
+        for name in small.records_by_database:
+            assert [r.runtime_seconds
+                    for r in grown.records_by_database[name]] == \
+                [r.runtime_seconds for r in small.records_by_database[name]]
+
+    def test_clear_removes_shards(self, tmp_path, executed):
+        store = ArtifactStore(tmp_path)
+        store.save_shard(executed)
+        assert len(store.shard_entries()) == 1
+        assert store.clear() == 1
+        assert store.shard_entries() == []
+        assert store.load_shard(executed.shard) is None
+
+
 class TestCLI:
     def test_stat_and_clear(self, warm_store, capsys):
         store, _ = warm_store
         assert main(["--stat", "--dir", str(store.root)]) == 0
         out = capsys.readouterr().out
         assert "ctx-" in out and "fleet=2x25q" in out
+        # The cold build went through sharded collection, so the store
+        # holds one shard per training database too.
+        assert "shard-" in out and "db=train_db_0" in out
+        assert "2 shard entries" in out
 
         scratch = ArtifactStore(store.root)   # same root, fresh handle
         assert len(scratch.entries()) == 1
+        assert len(scratch.shard_entries()) == 2
 
     def test_clear_empties_store(self, tmp_path, capsys):
         # Clearing only touches directories; fabricated entries suffice.

@@ -58,10 +58,35 @@ class TestSetup:
         assert "imdb" not in names
 
     def test_scale_validation(self):
+        """Bad scales fail eagerly at construction, not mid-collection."""
         with pytest.raises(ExperimentError):
             ExperimentScale(num_training_databases=0)
         with pytest.raises(ExperimentError):
+            ExperimentScale(queries_per_database=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(queries_per_database=-5)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(random_indexes_per_database=-1)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(evaluation_queries=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(training_db_min_rows=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(training_db_min_rows=100,
+                            training_db_max_rows=50)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(seed=-1)
+        with pytest.raises(ExperimentError):
             ExperimentScale(training_budgets=())
+
+    def test_worker_count_validation(self):
+        """Non-positive worker counts are rejected before any shard runs."""
+        from repro.workload import resolve_backend
+        with pytest.raises(ExperimentError):
+            resolve_backend(workers=0)
+        with pytest.raises(ExperimentError):
+            build_context(ExperimentScale.quick(), workers=-1,
+                          use_cache=False)
 
     def test_scale_presets(self):
         assert ExperimentScale.paper().num_training_databases == 19

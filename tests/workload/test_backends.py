@@ -1,0 +1,170 @@
+"""Sharded corpus collection: backends, shard seeds, pickling.
+
+The process-pool backend only works if (a) every shard is a
+self-contained picklable unit, (b) executed records survive the pickle
+round-trip losslessly, and (c) per-shard seeds make execution order
+irrelevant.  Each property gets its own regression here; the capstone
+asserts serial and parallel corpora are record-identical.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.db import generate_training_database_specs
+from repro.errors import ExperimentError, WorkloadError
+from repro.workload import (
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkloadRunner,
+    WorkloadSpec,
+    collect_training_corpus_from_specs,
+    execute_shard,
+    make_benchmark_workload,
+    make_corpus_shards,
+    resolve_backend,
+)
+from repro.workload.backends import shard_seeds
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    return generate_training_database_specs(3, base_seed=23,
+                                            min_rows=200, max_rows=900)
+
+
+def assert_records_identical(a, b):
+    """Bit-level equality of two executed-record lists."""
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert str(left.query) == str(right.query)
+        assert left.database_name == right.database_name
+        assert left.runtime_seconds == right.runtime_seconds
+        assert left.memory_peak_bytes == right.memory_peak_bytes
+        assert left.io_pages == right.io_pages
+        left_nodes = left.plan.nodes()
+        right_nodes = right.plan.nodes()
+        assert len(left_nodes) == len(right_nodes)
+        for node_a, node_b in zip(left_nodes, right_nodes):
+            assert type(node_a) is type(node_b)
+            assert node_a.actual_rows == node_b.actual_rows
+            assert node_a.est_rows == node_b.est_rows
+            assert node_a.est_cost == node_b.est_cost
+
+
+class TestRecordPickling:
+    """``ExecutedQueryRecord`` must round-trip losslessly — the
+    process-pool backend ships every record through pickle."""
+
+    def test_roundtrip_is_lossless(self, tiny_imdb):
+        queries = make_benchmark_workload(tiny_imdb, "job-light", 6, seed=3)
+        records = WorkloadRunner(tiny_imdb, seed=5).run(queries)
+        restored = pickle.loads(pickle.dumps(records))
+        assert_records_identical(records, restored)
+        for record in restored:
+            assert record.plan.is_executed
+            assert record.optimizer_cost > 0
+
+    def test_shard_and_execution_roundtrip(self, tiny_specs):
+        shards = make_corpus_shards(tiny_specs, 5, seed=23)
+        restored = pickle.loads(pickle.dumps(shards))
+        assert restored == shards          # frozen dataclasses: full equality
+        execution = execute_shard(shards[0])
+        again = pickle.loads(pickle.dumps(execution))
+        assert again.database.name == execution.database.name
+        assert again.shard == execution.shard
+        assert_records_identical(execution.records, again.records)
+
+
+class TestShardSeeds:
+    def test_deterministic_and_distinct(self):
+        assert shard_seeds(7, 0) == shard_seeds(7, 0)
+        assert shard_seeds(7, 0) != shard_seeds(7, 1)
+        assert shard_seeds(7, 0) != shard_seeds(8, 0)
+
+    def test_independent_of_fleet_size(self, tiny_specs):
+        """Shard i's task is identical whether the fleet has 2 or 3
+        databases — the foundation of incremental shard reuse."""
+        small = make_corpus_shards(tiny_specs[:2], 5, seed=23)
+        large = make_corpus_shards(tiny_specs, 5, seed=23)
+        assert large[:2] == small
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ExperimentError):
+            shard_seeds(-1, 0)
+
+    def test_workload_template_preserved(self, tiny_specs):
+        template = WorkloadSpec(num_queries=1, max_tables=2,
+                                max_predicates=1, seed=0)
+        shards = make_corpus_shards(tiny_specs, 5, seed=23,
+                                    workload_spec=template)
+        for index, shard in enumerate(shards):
+            assert shard.workload_spec.max_tables == 2
+            assert shard.workload_spec.max_predicates == 1
+            assert shard.workload_spec.num_queries == 5
+            assert shard.workload_spec.seed == shard_seeds(23, index)[1]
+
+
+class TestBackends:
+    def test_serial_and_parallel_are_record_identical(self, tiny_specs):
+        """The acceptance property: the corpus does not depend on the
+        backend that collected it."""
+        kwargs = dict(seed=23, random_indexes_per_database=1)
+        serial = collect_training_corpus_from_specs(
+            tiny_specs, 8, backend=SerialBackend(), **kwargs)
+        parallel = collect_training_corpus_from_specs(
+            tiny_specs, 8, backend=ProcessPoolBackend(2), **kwargs)
+        assert list(serial.records_by_database) == \
+            list(parallel.records_by_database)
+        for name in serial.records_by_database:
+            assert_records_identical(serial.records_by_database[name],
+                                     parallel.records_by_database[name])
+            assert sorted(serial.databases[name].indexes) == \
+                sorted(parallel.databases[name].indexes)
+
+    def test_empty_shard_list(self):
+        assert SerialBackend().run([]) == []
+        assert ProcessPoolBackend(2).run([]) == []
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ExperimentError):
+            ProcessPoolBackend(0)
+        with pytest.raises(ExperimentError):
+            resolve_backend(workers=-2)
+
+    def test_spec_validation(self, tiny_specs):
+        with pytest.raises(WorkloadError):
+            collect_training_corpus_from_specs([], 5)
+        with pytest.raises(WorkloadError):
+            collect_training_corpus_from_specs(tiny_specs, 0)
+
+
+class TestResolveBackend:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert isinstance(resolve_backend(), SerialBackend)
+
+    def test_env_selects_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        backend = resolve_backend()
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == 3
+
+    def test_env_one_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert isinstance(resolve_backend(), SerialBackend)
+
+    def test_explicit_args_win_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert isinstance(resolve_backend(workers=1), SerialBackend)
+        sentinel = SerialBackend()
+        assert resolve_backend(workers=4, backend=sentinel) is sentinel
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ExperimentError):
+            resolve_backend()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ExperimentError):
+            resolve_backend()
