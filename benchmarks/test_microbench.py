@@ -327,6 +327,72 @@ def test_merge_encoded_batch(benchmark, context, corpus_graphs):
     assert batch.num_graphs == min(batch_size, len(encoded))
 
 
+# ----------------------------------------------------------------------
+# Cost-model serving gates
+#
+# Callers historically predicted per plan: featurize + encode + a
+# batch-of-one forward for every call.  repro.serve.CostModelService
+# micro-batches the forwards and caches the per-plan encode precompute
+# under an LRU bound; batch-size-invariant inference (repro.nn.tensor)
+# makes the service's answers bit-identical to per-plan calls.
+# ----------------------------------------------------------------------
+def test_cost_model_service_speedup(context, imdb, executed_plans):
+    """Acceptance gate: steady-state batched service throughput is ≥3×
+    per-plan ``predict_runtime`` calls for the zero-shot model at
+    ``ExperimentScale.default()`` — with bit-identical outputs across
+    per-plan, batched, cold-cache and warm-cache paths."""
+    from repro.serve import CostModelService
+
+    estimator = context.estimator(CardinalitySource.ESTIMATED)
+    service = CostModelService(estimator, imdb)
+    plans = executed_plans
+
+    reference = estimator.predict_runtime(plans, imdb)
+    served_cold = service.predict_runtime(plans)
+    served_warm = service.predict_runtime(plans)
+    per_plan = np.array([estimator.predict_runtime([p], imdb)[0]
+                         for p in plans])
+    np.testing.assert_array_equal(served_cold, reference)
+    np.testing.assert_array_equal(served_warm, reference)
+    np.testing.assert_array_equal(per_plan, reference)
+
+    def per_plan_arm():
+        for plan in plans:
+            estimator.predict_runtime([plan], imdb)
+
+    def service_arm():
+        service.predict_runtime(plans)
+
+    # Interleave rounds so a load spike hits both arms alike (the
+    # service stays warm across rounds: steady-state serving).
+    best = {per_plan_arm: float("inf"), service_arm: float("inf")}
+    for _ in range(7):
+        for arm in (per_plan_arm, service_arm):
+            start = time.perf_counter()
+            arm()
+            best[arm] = min(best[arm], time.perf_counter() - start)
+
+    speedup = best[per_plan_arm] / best[service_arm]
+    assert speedup >= 3.0, (
+        f"batched service only {speedup:.2f}x faster than per-plan "
+        f"prediction ({best[per_plan_arm] * 1e3:.1f} ms vs "
+        f"{best[service_arm] * 1e3:.1f} ms for {len(plans)} plans)"
+    )
+
+
+def test_cost_model_service_throughput(benchmark, context, imdb,
+                                       executed_plans):
+    """Steady-state service throughput (plans/s) at default scale."""
+    from repro.serve import CostModelService
+
+    estimator = context.estimator(CardinalitySource.ESTIMATED)
+    service = CostModelService(estimator, imdb)
+    service.warm(executed_plans)
+
+    predictions = benchmark(service.predict_runtime, executed_plans)
+    assert predictions.shape == (len(executed_plans),)
+
+
 def test_planner_latency(benchmark, imdb, queries):
     planner = Planner(imdb)
 

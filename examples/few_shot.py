@@ -17,14 +17,7 @@ Run:  python examples/few_shot.py
 import numpy as np
 
 from repro.db import generate_training_databases, make_imdb_database
-from repro.featurize import CardinalitySource, E2EFeaturizer, ZeroShotFeaturizer
-from repro.models import (
-    E2ECostModel,
-    TrainerConfig,
-    ZeroShotCostModel,
-    fine_tune,
-    q_error_stats,
-)
+from repro.models import TrainerConfig, get_estimator, q_error_stats
 from repro.workload import (
     WorkloadRunner,
     WorkloadSpec,
@@ -39,12 +32,11 @@ def main() -> None:
     fleet = generate_training_databases(5, base_seed=5,
                                         min_rows=1_000, max_rows=20_000)
     corpus = collect_training_corpus(fleet, queries_per_database=120, seed=5)
-    model = ZeroShotCostModel()
-    model.fit(corpus.featurize(CardinalitySource.ESTIMATED),
+    model = get_estimator("zero-shot")
+    model.fit(corpus.all_records(), corpus.databases,
               TrainerConfig(epochs=50, batch_size=64))
 
     imdb = make_imdb_database(scale=0.3, seed=42)
-    featurizer = ZeroShotFeaturizer(CardinalitySource.ESTIMATED)
 
     # A small adaptation workload executed on the new database.
     support_queries = generate_workload(imdb, WorkloadSpec(num_queries=40,
@@ -55,32 +47,24 @@ def main() -> None:
     eval_queries = make_benchmark_workload(imdb, "scale", 30, seed=77)
     evaluation = WorkloadRunner(imdb, seed=77, noise_sigma=0.05) \
         .run(eval_queries)
-    eval_graphs = [featurizer.featurize(r.plan, imdb) for r in evaluation]
+    eval_plans = [r.plan for r in evaluation]
     truths = np.array([r.runtime_seconds for r in evaluation])
 
     print("\n1. Zero-shot (0 queries on the new database):")
-    print("  ", q_error_stats(model.predict_runtime(eval_graphs), truths))
+    print("  ", q_error_stats(model.predict_runtime(eval_plans, imdb),
+                              truths))
 
     print("\n2. Few-shot (fine-tuned on 40 queries):")
-    support_graphs = [featurizer.featurize(r.plan, imdb, r.runtime_seconds)
-                      for r in support]
-    tuned = fine_tune(model, support_graphs)
-    print("  ", q_error_stats(tuned.predict_runtime(eval_graphs), truths))
+    tuned = model.fine_tune(support, imdb)
+    print("  ", q_error_stats(tuned.predict_runtime(eval_plans, imdb),
+                              truths))
 
     print("\n3. Workload-driven E2E trained from scratch on the same 40:")
-    e2e_featurizer = E2EFeaturizer(imdb).fit([r.plan for r in support])
-    e2e = E2ECostModel(e2e_featurizer)
-    e2e.fit([e2e_featurizer.featurize(r.plan, r.runtime_seconds)
-             for r in support], TrainerConfig(epochs=50, batch_size=8))
-    predictions = np.empty(len(evaluation))
-    fallback = float(np.median([r.runtime_seconds for r in support]))
-    for index, record in enumerate(evaluation):
-        try:
-            sample = e2e_featurizer.featurize(record.plan)
-            predictions[index] = e2e.predict_runtime([sample])[0]
-        except Exception:
-            predictions[index] = fallback  # out-of-vocabulary plan
-    print("  ", q_error_stats(predictions, truths))
+    e2e = get_estimator("e2e")
+    e2e.fit(support, imdb, TrainerConfig(epochs=50, batch_size=8))
+    # Out-of-vocabulary evaluation plans are priced at the training
+    # median by the estimator's adapter.
+    print("  ", q_error_stats(e2e.predict_runtime(eval_plans, imdb), truths))
 
 
 if __name__ == "__main__":

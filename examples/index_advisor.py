@@ -9,11 +9,8 @@ training query ever runs on the target database.
 Run:  python examples/index_advisor.py
 """
 
-import numpy as np
-
 from repro.db import generate_training_databases, make_imdb_database
-from repro.featurize import CardinalitySource
-from repro.models import TrainerConfig, ZeroShotCostModel
+from repro.models import TrainerConfig, get_estimator
 from repro.sql import parse_query
 from repro.tuning import IndexAdvisor
 from repro.workload import WorkloadRunner, collect_training_corpus
@@ -36,15 +33,15 @@ def main() -> None:
                                         min_rows=1_000, max_rows=20_000)
     corpus = collect_training_corpus(fleet, queries_per_database=120, seed=3,
                                      random_indexes_per_database=3)
-    model = ZeroShotCostModel()
-    model.fit(corpus.featurize(CardinalitySource.ESTIMATED),
+    model = get_estimator("zero-shot")
+    model.fit(corpus.all_records(), corpus.databases,
               TrainerConfig(epochs=50, batch_size=64))
 
     imdb = make_imdb_database(scale=0.3, seed=42)
     queries = [parse_query(text) for text in TARGET_WORKLOAD]
 
     print("\nRecommending indexes for the unseen IMDB workload ...")
-    advisor = IndexAdvisor(imdb, model)
+    advisor = IndexAdvisor(imdb, model, service=True)
     recommendation = advisor.recommend(queries, max_indexes=2)
 
     print(f"  predicted workload time without new indexes: "

@@ -10,12 +10,9 @@ seen.  We then measure both choices against the simulated ground truth.
 Run:  python examples/plan_selection.py
 """
 
-import numpy as np
-
 from repro.db import generate_training_databases, make_imdb_database
 from repro.engine import Executor
-from repro.featurize import CardinalitySource
-from repro.models import TrainerConfig, ZeroShotCostModel
+from repro.models import TrainerConfig, get_estimator
 from repro.optimizer.learned_planner import ZeroShotPlanSelector
 from repro.runtime import RuntimeSimulator
 from repro.workload import collect_training_corpus, make_benchmark_workload
@@ -27,13 +24,16 @@ def main() -> None:
                                         min_rows=1_000, max_rows=40_000)
     corpus = collect_training_corpus(fleet, queries_per_database=130, seed=8,
                                      random_indexes_per_database=2)
-    model = ZeroShotCostModel()
-    model.fit(corpus.featurize(CardinalitySource.ESTIMATED),
+    model = get_estimator("zero-shot")
+    model.fit(corpus.all_records(), corpus.databases,
               TrainerConfig(epochs=50, batch_size=64))
 
     imdb = make_imdb_database(scale=0.4, seed=42)
     queries = make_benchmark_workload(imdb, "scale", 20, seed=13)
-    selector = ZeroShotPlanSelector(imdb, model)
+    # service=True: candidate plans are priced through the batching
+    # CostModelService (identical choices — inference is batch-size
+    # invariant).
+    selector = ZeroShotPlanSelector(imdb, model, service=True)
     executor = Executor(imdb)
     simulator = RuntimeSimulator(imdb, noise_sigma=0.0)
 

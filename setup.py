@@ -13,6 +13,12 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-cache = repro.experiments.cache:main",
+            "repro-figure3 = repro.experiments.figure3:main",
+            "repro-table1 = repro.experiments.table1:main",
+            "repro-learning-curve = repro.experiments.learning_curve:main",
+            "repro-fewshot = repro.experiments.fewshot_exp:main",
+            "repro-ablations = repro.experiments.ablations:main",
+            "repro-resources = repro.experiments.resources:main",
         ],
     },
 )

@@ -33,19 +33,26 @@ from repro.db import (
 from repro.engine import execute_plan
 from repro.featurize import CardinalitySource, ZeroShotFeaturizer
 from repro.models import (
+    CostEstimator,
     E2ECostModel,
     MSCNCostModel,
     ScaledOptimizerCost,
     TrainerConfig,
     ZeroShotConfig,
     ZeroShotCostModel,
+    ZeroShotEstimator,
+    available_estimators,
     fine_tune,
+    get_estimator,
+    load_estimator,
     q_error,
     q_error_stats,
+    register_estimator,
 )
 from repro.optimizer import plan_query
 from repro.plans import explain_plan
 from repro.runtime import RuntimeSimulator, SystemParameters
+from repro.serve import CostModelService, ServiceStats
 from repro.sql import parse_query, query_to_sql
 from repro.tuning import IndexAdvisor, ZeroShotWhatIfEstimator
 from repro.workload import (
@@ -62,6 +69,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CardinalitySource",
+    "CostEstimator",
+    "CostModelService",
     "Database",
     "E2ECostModel",
     "IndexAdvisor",
@@ -70,15 +79,18 @@ __all__ = [
     "RuntimeSimulator",
     "SerialBackend",
     "ScaledOptimizerCost",
+    "ServiceStats",
     "SyntheticDatabaseSpec",
     "SystemParameters",
     "TrainerConfig",
     "WorkloadRunner",
     "ZeroShotConfig",
     "ZeroShotCostModel",
+    "ZeroShotEstimator",
     "ZeroShotFeaturizer",
     "ZeroShotWhatIfEstimator",
     "__version__",
+    "available_estimators",
     "collect_training_corpus",
     "collect_training_corpus_from_specs",
     "execute_plan",
@@ -88,6 +100,8 @@ __all__ = [
     "generate_training_database_specs",
     "generate_training_databases",
     "generate_workload",
+    "get_estimator",
+    "load_estimator",
     "make_benchmark_workload",
     "make_imdb_database",
     "parse_query",
@@ -95,4 +109,5 @@ __all__ = [
     "q_error",
     "q_error_stats",
     "query_to_sql",
+    "register_estimator",
 ]

@@ -22,9 +22,12 @@ from repro.featurize.graph import (
     _OPERATOR_KINDS,
     CardinalitySource,
     PlanGraph,
-    ZeroShotFeaturizer,
 )
-from repro.models import FlatVectorCostModel, ZeroShotCostModel, q_error_stats
+from repro.models import (
+    FlatVectorCostModel,
+    ZeroShotEstimator,
+    q_error_stats,
+)
 from repro.models.metrics import QErrorStats
 
 __all__ = ["AblationResult", "run_ablations"]
@@ -61,32 +64,31 @@ def run_ablations(scale: ExperimentScale | None = None,
     source = CardinalitySource.ACTUAL
     train_graphs = context.corpus.featurize(source)
 
-    featurizer = ZeroShotFeaturizer(source)
-    evaluation_graphs = []
+    full = context.estimator(source)
+    evaluation_plans = []
     truths = []
     for records in context.evaluation_records.values():
         for record in records:
-            evaluation_graphs.append(
-                featurizer.featurize(record.plan, context.imdb))
+            evaluation_plans.append(record.plan)
             truths.append(record.runtime_seconds)
     truths = np.array(truths)
+    # Raw (unscaled) evaluation graphs, via the estimator's own
+    # featurization adapter — the ablations transform them below.
+    evaluation_graphs = full.featurize(evaluation_plans, context.imdb)
 
     result = AblationResult()
 
-    # Full model (graph + message passing + cardinalities).
-    full = context.zero_shot_models[source]
+    # Full model (graph + message passing + cardinalities), over the
+    # already-featurized evaluation graphs.
     result.variants["graph (full model)"] = q_error_stats(
-        full.predict_runtime(evaluation_graphs), truths)
+        full.model.predict_runtime(evaluation_graphs), truths)
 
-    # Estimated-cardinality variant (the deployable configuration).
-    estimated = context.zero_shot_models[CardinalitySource.ESTIMATED]
-    est_featurizer = ZeroShotFeaturizer(CardinalitySource.ESTIMATED)
-    est_eval = []
-    for records in context.evaluation_records.values():
-        for record in records:
-            est_eval.append(est_featurizer.featurize(record.plan, context.imdb))
+    # Estimated-cardinality variant (the deployable configuration) —
+    # featurized separately: its cardinality features differ.
+    estimated = context.estimator(CardinalitySource.ESTIMATED)
+    estimated_graphs = estimated.featurize(evaluation_plans, context.imdb)
     result.variants["graph (estimated cardinalities)"] = q_error_stats(
-        estimated.predict_runtime(est_eval), truths)
+        estimated.model.predict_runtime(estimated_graphs), truths)
 
     # Flat featurization: same features, structure pooled away.
     flat = FlatVectorCostModel(seed=context.scale.seed)
@@ -95,11 +97,13 @@ def run_ablations(scale: ExperimentScale | None = None,
         flat.predict_runtime(evaluation_graphs), truths)
 
     # No cardinality features: the model must guess selectivities.
-    no_card_model = ZeroShotCostModel(context.scale.zero_shot_config)
-    no_card_model.fit(_strip_cardinalities(train_graphs),
-                      context.scale.zero_shot_trainer)
+    no_card = ZeroShotEstimator(config=context.scale.zero_shot_config,
+                                source=source)
+    no_card.fit_graphs(_strip_cardinalities(train_graphs),
+                       context.scale.zero_shot_trainer)
     result.variants["graph (no cardinality features)"] = q_error_stats(
-        no_card_model.predict_runtime(_strip_cardinalities(evaluation_graphs)),
+        no_card.model.predict_runtime(
+            _strip_cardinalities(evaluation_graphs)),
         truths)
 
     return result

@@ -10,13 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import ExperimentError
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
-from repro.featurize.e2e import E2EFeaturizer
-from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
-from repro.models import E2ECostModel, TrainerConfig, fine_tune, q_error_stats
+from repro.featurize.graph import CardinalitySource
+from repro.models import TrainerConfig, get_estimator, q_error_stats
 
 __all__ = ["FewShotResult", "run_fewshot"]
 
@@ -46,51 +43,36 @@ def run_fewshot(scale: ExperimentScale | None = None,
     if not budgets:
         raise ExperimentError("no few-shot budget fits the IMDB pool")
 
-    featurizer = ZeroShotFeaturizer(source)
-    records = context.evaluation_records[benchmark]
-    evaluation_graphs = [featurizer.featurize(r.plan, context.imdb)
-                         for r in records]
+    base = context.estimator(source)
+    evaluation_plans = [r.plan
+                        for r in context.evaluation_records[benchmark]]
     truths = context.evaluation_truths(benchmark)
 
-    base_model = context.zero_shot_models[source]
     result = FewShotResult(budgets=budgets)
     result.zero_shot_median = q_error_stats(
-        base_model.predict_runtime(evaluation_graphs), truths
+        base.predict_runtime(evaluation_plans, context.imdb), truths
     ).median
 
     for budget in budgets:
         support = context.imdb_pool[:budget]
 
         # Few-shot: fine-tune the zero-shot model.
-        support_graphs = [featurizer.featurize(r.plan, context.imdb,
-                                               r.runtime_seconds)
-                          for r in support]
-        tuned = fine_tune(base_model, support_graphs, TrainerConfig(
+        tuned = base.fine_tune(support, context.imdb, TrainerConfig(
             epochs=25, learning_rate=2e-4,
             batch_size=min(16, budget), validation_fraction=0.0,
             early_stopping_patience=25, seed=context.scale.seed,
         ))
         result.fewshot_medians.append(q_error_stats(
-            tuned.predict_runtime(evaluation_graphs), truths
+            tuned.predict_runtime(evaluation_plans, context.imdb), truths
         ).median)
 
-        # From scratch: E2E on the same queries.
-        e2e_featurizer = E2EFeaturizer(context.imdb).fit(
-            [r.plan for r in support])
-        e2e_samples = [e2e_featurizer.featurize(r.plan, r.runtime_seconds)
-                       for r in support]
-        e2e = E2ECostModel(e2e_featurizer)
-        e2e.fit(e2e_samples, context.scale.baseline_trainer)
-        predictions = np.empty(len(records))
-        fallback = float(np.median([r.runtime_seconds for r in support]))
-        for index, record in enumerate(records):
-            try:
-                sample = e2e_featurizer.featurize(record.plan)
-                predictions[index] = e2e.predict_runtime([sample])[0]
-            except Exception:
-                predictions[index] = fallback
-        result.from_scratch_medians.append(
-            q_error_stats(predictions, truths).median)
+        # From scratch: E2E on the same queries (its adapter prices
+        # out-of-vocabulary plans at the training-median runtime).
+        e2e = get_estimator("e2e").fit(support, context.imdb,
+                                       context.scale.baseline_trainer)
+        result.from_scratch_medians.append(q_error_stats(
+            e2e.predict_runtime(evaluation_plans, context.imdb), truths
+        ).median)
     return result
 
 

@@ -16,22 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import ExperimentError
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
-from repro.featurize.e2e import E2EFeaturizer
-from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
-from repro.featurize.mscn import MSCNFeaturizer
-from repro.models import (
-    E2ECostModel,
-    MSCNCostModel,
-    ScaledOptimizerCost,
-    q_error_stats,
-)
+from repro.featurize.graph import CardinalitySource
+from repro.models import CostEstimator, get_estimator, q_error_stats
 from repro.models.metrics import QErrorStats
 from repro.workload import BENCHMARK_NAMES, WorkloadRunner
-from repro.workload.runner import ExecutedQueryRecord
 
 __all__ = ["Figure3Result", "run_figure3", "evaluate_zero_shot",
            "train_workload_driven_baselines"]
@@ -66,10 +56,9 @@ class Figure3Result:
 def evaluate_zero_shot(context: ExperimentContext, benchmark: str,
                        source: CardinalitySource) -> QErrorStats:
     records = context.evaluation_records[benchmark]
-    featurizer = ZeroShotFeaturizer(source)
-    graphs = [featurizer.featurize(r.plan, context.imdb) for r in records]
-    model = context.zero_shot_models[source]
-    predictions = model.predict_runtime(graphs)
+    estimator = context.estimator(source)
+    predictions = estimator.predict_runtime([r.plan for r in records],
+                                            context.imdb)
     return q_error_stats(predictions, context.evaluation_truths(benchmark))
 
 
@@ -77,8 +66,17 @@ def evaluate_zero_shot(context: ExperimentContext, benchmark: str,
 # Workload-driven baselines at one training budget
 # ----------------------------------------------------------------------
 def train_workload_driven_baselines(context: ExperimentContext,
-                                    budget: int) -> dict[str, object]:
-    """Train MSCN / E2E / ScaledOptimizerCost on ``budget`` IMDB queries."""
+                                    budget: int
+                                    ) -> dict[str, CostEstimator]:
+    """Train MSCN / E2E / ScaledOptimizerCost on ``budget`` IMDB queries.
+
+    Everything goes through the unified estimator registry: each
+    estimator owns its featurization (and its out-of-vocabulary
+    fallback — at tiny budgets some evaluation queries fall outside the
+    one-hot vocabularies, and the estimators price them at the
+    training-median runtime, which is how such gaps surface as error
+    spikes in the paper's MSCN curves).
+    """
     if budget > len(context.imdb_pool):
         raise ExperimentError(
             f"budget {budget} exceeds the IMDB pool "
@@ -86,58 +84,13 @@ def train_workload_driven_baselines(context: ExperimentContext,
         )
     training = context.imdb_pool[:budget]
     trainer = context.scale.baseline_trainer
-
-    mscn_featurizer = MSCNFeaturizer(context.imdb).fit(
-        [r.query for r in training])
-    mscn_samples = [mscn_featurizer.featurize(r.query, r.runtime_seconds)
-                    for r in training]
-    mscn = MSCNCostModel(mscn_featurizer)
-    mscn.fit(mscn_samples, trainer)
-
-    e2e_featurizer = E2EFeaturizer(context.imdb).fit(
-        [r.plan for r in training])
-    e2e_samples = [e2e_featurizer.featurize(r.plan, r.runtime_seconds)
-                   for r in training]
-    e2e = E2ECostModel(e2e_featurizer)
-    e2e.fit(e2e_samples, trainer)
-
-    scaled = ScaledOptimizerCost().fit(
-        np.array([r.optimizer_cost for r in training]),
-        np.array([r.runtime_seconds for r in training]),
-    )
-    return {MSCN_NAME: (mscn, mscn_featurizer),
-            E2E_NAME: (e2e, e2e_featurizer),
-            SCALED_COST_NAME: scaled}
-
-
-def _evaluate_baseline(name: str, bundle, records: list[ExecutedQueryRecord],
-                       truths: np.ndarray) -> QErrorStats:
-    """Median Q-error of one baseline on one benchmark.
-
-    Out-of-vocabulary evaluation queries (possible at tiny budgets) are
-    predicted with the training-median runtime — the best a one-hot
-    model can do, and how such gaps surface as error spikes in the
-    paper's MSCN curves.
-    """
-    if name == SCALED_COST_NAME:
-        costs = np.array([r.optimizer_cost for r in records])
-        return q_error_stats(bundle.predict_runtime(costs), truths)
-
-    model, featurizer = bundle
-    predictions = np.empty(len(records))
-    fallback = None
-    for index, record in enumerate(records):
-        try:
-            if name == MSCN_NAME:
-                sample = featurizer.featurize(record.query)
-            else:
-                sample = featurizer.featurize(record.plan)
-            predictions[index] = model.predict_runtime([sample])[0]
-        except Exception:
-            if fallback is None:
-                fallback = float(np.median(truths))
-            predictions[index] = fallback
-    return q_error_stats(predictions, truths)
+    return {
+        MSCN_NAME: get_estimator("mscn").fit(training, context.imdb,
+                                             trainer),
+        E2E_NAME: get_estimator("e2e").fit(training, context.imdb, trainer),
+        SCALED_COST_NAME: get_estimator("scaled-optimizer-cost").fit(
+            training, context.imdb, trainer),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -178,10 +131,11 @@ def run_figure3(scale: ExperimentScale | None = None,
             WorkloadRunner.total_execution_hours(context.imdb_pool[:budget])
         )
         for benchmark in BENCHMARK_NAMES:
-            records = context.evaluation_records[benchmark]
+            plans = [r.plan for r in context.evaluation_records[benchmark]]
             truths = context.evaluation_truths(benchmark)
-            for name, bundle in baselines.items():
-                stats = _evaluate_baseline(name, bundle, records, truths)
+            for name, estimator in baselines.items():
+                predictions = estimator.predict_runtime(plans, context.imdb)
+                stats = q_error_stats(predictions, truths)
                 result.baseline_series[benchmark][name].append(stats.median)
     return result
 

@@ -26,8 +26,8 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
-from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
-from repro.models import ZeroShotCostModel, q_error_stats
+from repro.featurize.graph import CardinalitySource
+from repro.models import ZeroShotEstimator, q_error_stats
 
 __all__ = ["LearningCurveResult", "run_learning_curve"]
 
@@ -73,23 +73,27 @@ def run_learning_curve(scale: ExperimentScale | None = None,
             f"requested {max(database_counts)} databases, corpus has {len(names)}"
         )
 
-    # Evaluation set: all three benchmarks pooled.
-    featurizer = ZeroShotFeaturizer(source)
-    evaluation_graphs = []
+    # Evaluation set: all three benchmarks pooled, featurized once via
+    # the estimator's adapter (raw graphs are scaler-independent; each
+    # fleet-size model applies its own scalers at predict time).
+    evaluation_plans = []
     truths = []
     for records in context.evaluation_records.values():
         for record in records:
-            evaluation_graphs.append(
-                featurizer.featurize(record.plan, context.imdb))
+            evaluation_plans.append(record.plan)
             truths.append(record.runtime_seconds)
     truths = np.array(truths)
+    adapter = ZeroShotEstimator(source=source)
+    evaluation_graphs = adapter.featurize(evaluation_plans, context.imdb)
 
     result = LearningCurveResult()
     for count in database_counts:
-        graphs = context.corpus.featurize(source, names[:count])
-        model = ZeroShotCostModel(context.scale.zero_shot_config)
-        model.fit(graphs, context.scale.zero_shot_trainer)
-        stats = q_error_stats(model.predict_runtime(evaluation_graphs), truths)
+        estimator = ZeroShotEstimator(config=context.scale.zero_shot_config,
+                                      source=source)
+        estimator.fit_graphs(context.corpus.featurize(source, names[:count]),
+                             context.scale.zero_shot_trainer)
+        stats = q_error_stats(
+            estimator.model.predict_runtime(evaluation_graphs), truths)
         result.database_counts.append(count)
         result.median_q_errors.append(stats.median)
     return result

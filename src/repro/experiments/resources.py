@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
-from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
-from repro.models import ZeroShotCostModel, q_error_stats
+from repro.featurize.graph import CardinalitySource
+from repro.models import ZeroShotEstimator, q_error_stats
 from repro.models.metrics import QErrorStats
 
 __all__ = ["ResourceResult", "run_resources"]
@@ -53,22 +53,25 @@ def run_resources(scale: ExperimentScale | None = None,
     if context is None:
         context = build_context(scale, with_imdb_pool=False)
 
-    featurizer = ZeroShotFeaturizer(source)
-    evaluation_graphs = []
-    for records in context.evaluation_records.values():
-        for record in records:
-            evaluation_graphs.append(
-                featurizer.featurize(record.plan, context.imdb))
+    evaluation_plans = [record.plan
+                        for records in context.evaluation_records.values()
+                        for record in records]
+    # Featurize once via the estimator's adapter; every per-target model
+    # scales and predicts over the same raw graphs.
+    adapter = ZeroShotEstimator(source=source)
+    evaluation_graphs = adapter.featurize(evaluation_plans, context.imdb)
 
     result = ResourceResult()
     for target in _TARGETS:
         if target == "runtime":
-            model = context.zero_shot_models[source]
+            estimator = context.estimator(source)
         else:
-            graphs = context.corpus.featurize(source, target=target)
-            model = ZeroShotCostModel(context.scale.zero_shot_config)
-            model.fit(graphs, context.scale.zero_shot_trainer)
-        predictions = model.predict_runtime(evaluation_graphs)
+            estimator = ZeroShotEstimator(
+                config=context.scale.zero_shot_config, source=source)
+            estimator.fit_graphs(
+                context.corpus.featurize(source, target=target),
+                context.scale.zero_shot_trainer)
+        predictions = estimator.model.predict_runtime(evaluation_graphs)
         truths = _evaluation_labels(context, target)
         result.stats[target] = q_error_stats(predictions, truths)
     return result

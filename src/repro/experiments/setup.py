@@ -28,7 +28,12 @@ from repro.db import generate_training_database_specs, make_imdb_database
 from repro.db.database import Database
 from repro.errors import ExperimentError
 from repro.featurize.graph import CardinalitySource
-from repro.models import TrainerConfig, ZeroShotConfig, ZeroShotCostModel
+from repro.models import (
+    TrainerConfig,
+    ZeroShotConfig,
+    ZeroShotCostModel,
+    ZeroShotEstimator,
+)
 from repro.workload import (
     BENCHMARK_NAMES,
     WorkloadRunner,
@@ -176,6 +181,13 @@ class ExperimentContext:
         return np.array([r.runtime_seconds
                          for r in self.evaluation_records[benchmark]])
 
+    def estimator(self, source: CardinalitySource) -> ZeroShotEstimator:
+        """The trained zero-shot model behind the unified
+        :class:`~repro.models.api.CostEstimator` contract — the surface
+        every experiment driver predicts through."""
+        return ZeroShotEstimator.from_model(self.zero_shot_models[source],
+                                            source)
+
 
 def train_zero_shot_models(corpus: TrainingCorpus, scale: ExperimentScale,
                            sources: tuple[CardinalitySource, ...] = (
@@ -185,10 +197,11 @@ def train_zero_shot_models(corpus: TrainingCorpus, scale: ExperimentScale,
     """Train one zero-shot model per cardinality source."""
     models = {}
     for source in sources:
-        graphs = corpus.featurize(source)
-        model = ZeroShotCostModel(scale.zero_shot_config)
-        model.fit(graphs, scale.zero_shot_trainer)
-        models[source] = model
+        estimator = ZeroShotEstimator(config=scale.zero_shot_config,
+                                      source=source)
+        estimator.fit_graphs(corpus.featurize(source),
+                             scale.zero_shot_trainer)
+        models[source] = estimator.model
     return models
 
 

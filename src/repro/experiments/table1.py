@@ -20,7 +20,7 @@ import numpy as np
 from repro.errors import ExperimentError
 from repro.experiments.figure3 import evaluate_zero_shot
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
-from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.featurize.graph import CardinalitySource
 from repro.models import q_error_stats
 from repro.models.metrics import QErrorStats
 from repro.workload import WorkloadRunner, make_benchmark_workload
@@ -50,7 +50,10 @@ def build_index_evaluation(context: ExperimentContext, seed: int = 123):
     For each query, an index is created on a randomly selected predicate
     attribute of that query (as in the paper), the query re-planned and
     executed under it, then the index is dropped.  Returns per-query
-    (plan, truth) pairs with the index present during featurization.
+    (encoded-sample-per-source, truth) pairs; plans are encoded through
+    the zero-shot estimators *while the index exists* (the encode step
+    reads live index statistics), ready for batched
+    :meth:`~repro.models.api.CostEstimator.predict_encoded`.
     """
     rng = np.random.default_rng(seed)
     queries = make_benchmark_workload(
@@ -75,13 +78,13 @@ def build_index_evaluation(context: ExperimentContext, seed: int = 123):
             runner = WorkloadRunner(context.imdb,
                                     seed=int(rng.integers(0, 2**31 - 1)))
             record = runner.run_query(query)
-            graphs = {}
+            encoded = {}
             for source in (CardinalitySource.ESTIMATED,
                            CardinalitySource.ACTUAL):
-                graphs[source] = ZeroShotFeaturizer(source).featurize(
-                    record.plan, context.imdb
-                )
-            evaluated.append((graphs, record.runtime_seconds))
+                encoded[source] = context.estimator(source).encode_plans(
+                    [record.plan], context.imdb
+                )[0]
+            evaluated.append((encoded, record.runtime_seconds))
         finally:
             if index_created:
                 context.imdb.drop_index(index_name)
@@ -110,8 +113,9 @@ def run_table1(scale: ExperimentScale | None = None,
     truths = np.array([truth for _, truth in index_evaluation])
     result.rows["Index"] = {}
     for source in (CardinalitySource.ACTUAL, CardinalitySource.ESTIMATED):
-        graphs = [g[source] for g, _ in index_evaluation]
-        predictions = context.zero_shot_models[source].predict_runtime(graphs)
+        encoded = [sample[source] for sample, _ in index_evaluation]
+        predictions = np.exp(
+            context.estimator(source).predict_encoded(encoded))
         result.rows["Index"][source] = q_error_stats(predictions, truths)
     return result
 

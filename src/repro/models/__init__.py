@@ -11,9 +11,31 @@
   rescaling of the classical optimizer cost.
 * :mod:`~repro.models.fewshot` — fine-tuning a zero-shot model on a few
   queries of the unseen database.
+
+All of them are reachable through the **unified estimator API**
+(:mod:`repro.models.api`): ``get_estimator(name)`` returns a
+:class:`~repro.models.api.CostEstimator` that featurizes physical plans
+(or SQL) into the model's native sample type internally — the contract
+the experiment drivers, the tuning stack and :mod:`repro.serve` build
+on.
 """
 
+from repro.models.api import (
+    CostEstimator,
+    available_estimators,
+    get_estimator,
+    load_estimator,
+    register_estimator,
+    resolve_plans,
+)
 from repro.models.e2e import E2ECostModel
+from repro.models.estimators import (
+    E2EEstimator,
+    FlatVectorEstimator,
+    MSCNEstimator,
+    ScaledOptimizerCostEstimator,
+    ZeroShotEstimator,
+)
 from repro.models.fewshot import fine_tune
 from repro.models.flat import FlatVectorCostModel
 from repro.models.metrics import QErrorStats, q_error, q_error_stats
@@ -23,16 +45,27 @@ from repro.models.trainer import TrainerConfig, TrainingHistory
 from repro.models.zero_shot import ZeroShotConfig, ZeroShotCostModel
 
 __all__ = [
+    "CostEstimator",
     "E2ECostModel",
+    "E2EEstimator",
     "FlatVectorCostModel",
+    "FlatVectorEstimator",
     "MSCNCostModel",
+    "MSCNEstimator",
     "QErrorStats",
     "ScaledOptimizerCost",
+    "ScaledOptimizerCostEstimator",
     "TrainerConfig",
     "TrainingHistory",
     "ZeroShotConfig",
     "ZeroShotCostModel",
+    "ZeroShotEstimator",
+    "available_estimators",
     "fine_tune",
+    "get_estimator",
+    "load_estimator",
     "q_error",
     "q_error_stats",
+    "register_estimator",
+    "resolve_plans",
 ]

@@ -1,0 +1,487 @@
+"""The built-in :class:`~repro.models.api.CostEstimator` adapters.
+
+One adapter per cost model, each owning the featurization that turns
+physical plans into the model's native sample type:
+
+===========================  =============================================
+registry name                model / native samples
+===========================  =============================================
+``zero-shot``                :class:`~repro.models.zero_shot.ZeroShotCostModel`
+                             over transferable :class:`PlanGraph` DAGs
+``flat``                     :class:`~repro.models.flat.FlatVectorCostModel`
+                             over pooled plan features (ablation)
+``mscn``                     :class:`~repro.models.mscn.MSCNCostModel`
+                             over per-database one-hot set samples
+``e2e``                      :class:`~repro.models.e2e.E2ECostModel`
+                             over per-database plan-tree samples
+``scaled-optimizer-cost``    :class:`~repro.models.optimizer_cost.ScaledOptimizerCost`
+                             over classical optimizer costs
+===========================  =============================================
+
+The workload-driven adapters (``mscn``, ``e2e``) internalize the
+out-of-vocabulary fallback the experiment drivers used to hand-roll:
+plans their one-hot featurizations cannot encode are priced at the
+training-median runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import FeaturizationError, ModelError
+from repro.featurize.batch import encode_graphs
+from repro.featurize.e2e import E2EFeaturizer
+from repro.featurize.graph import CardinalitySource, PlanGraph, ZeroShotFeaturizer
+from repro.featurize.mscn import MSCNFeaturizer, MSCNVocabulary
+from repro.featurize.plan_features import flat_plan_features
+from repro.featurize.scalers import StandardScaler
+from repro.models.api import (
+    OUT_OF_VOCABULARY,
+    CostEstimator,
+    register_estimator,
+    single_database,
+)
+from repro.models.e2e import E2EConfig, E2ECostModel
+from repro.models.flat import FlatVectorCostModel
+from repro.models.mscn import MSCNConfig, MSCNCostModel
+from repro.models.optimizer_cost import ScaledOptimizerCost
+from repro.models.trainer import TrainerConfig, TrainingHistory
+from repro.models.zero_shot import ZeroShotConfig, ZeroShotCostModel
+from repro.nn.serialize import load_state, save_state
+from repro.plans.plan import PhysicalPlan
+
+__all__ = [
+    "E2EEstimator",
+    "FlatVectorEstimator",
+    "MSCNEstimator",
+    "ScaledOptimizerCostEstimator",
+    "ZeroShotEstimator",
+]
+
+_WEIGHTS_FILE = "weights.npz"
+
+
+def _median_log_runtime(records) -> float:
+    return float(np.log(np.median([r.runtime_seconds for r in records])))
+
+
+# ----------------------------------------------------------------------
+# Transferable estimators (fit across the multi-database fleet)
+# ----------------------------------------------------------------------
+class ZeroShotEstimator(CostEstimator):
+    """The paper's zero-shot model behind the unified contract."""
+
+    name = "zero-shot"
+
+    def __init__(self, config: ZeroShotConfig | None = None,
+                 source: CardinalitySource = CardinalitySource.ESTIMATED,
+                 model: ZeroShotCostModel | None = None):
+        self.source = source
+        self.model = model if model is not None else ZeroShotCostModel(config)
+        self.featurizer = ZeroShotFeaturizer(source)
+
+    @classmethod
+    def from_model(cls, model: ZeroShotCostModel,
+                   source: CardinalitySource = CardinalitySource.ESTIMATED
+                   ) -> "ZeroShotEstimator":
+        """Wrap an already-trained core model (e.g. out of the
+        experiment context or the artifact store)."""
+        return cls(model=model, source=source)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model.is_fitted
+
+    @property
+    def history(self) -> TrainingHistory | None:
+        return self.model.history
+
+    # -- featurization adapter ----------------------------------------
+    def featurize(self, plans: Sequence[PhysicalPlan], database: Database,
+                  runtimes: Sequence[float] | None = None
+                  ) -> list[PlanGraph]:
+        """Plans → transferable plan graphs (labelled when ``runtimes``
+        is given) — the adapter behind fit/predict, exposed for callers
+        that manipulate graphs directly (ablations, fine-tuning)."""
+        if runtimes is None:
+            return [self.featurizer.featurize(p, database) for p in plans]
+        if len(runtimes) != len(plans):
+            raise ModelError("featurize got mismatched plans and runtimes")
+        return [self.featurizer.featurize(p, database, r)
+                for p, r in zip(plans, runtimes)]
+
+    # -- contract ------------------------------------------------------
+    def fit(self, records, databases, trainer: TrainerConfig | None = None
+            ) -> "ZeroShotEstimator":
+        from repro.models.api import _database_map
+        mapping = _database_map(records, databases, self.name)
+        graphs = [self.featurizer.featurize(r.plan,
+                                            mapping[r.database_name],
+                                            r.runtime_seconds)
+                  for r in records]
+        self.model.fit(graphs, trainer)
+        return self
+
+    def fit_graphs(self, graphs: list[PlanGraph],
+                   trainer: TrainerConfig | None = None
+                   ) -> "ZeroShotEstimator":
+        """Fit on pre-featurized graphs (corpus pipelines / ablations
+        that transform the encoding before training)."""
+        self.model.fit(graphs, trainer)
+        return self
+
+    def fine_tune(self, records, database: Database,
+                  trainer: TrainerConfig | None = None
+                  ) -> "ZeroShotEstimator":
+        """Few-shot adaptation: a fine-tuned *copy* on the target
+        database's executed records (see :func:`repro.models.fine_tune`)."""
+        from repro.models.fewshot import fine_tune
+        graphs = self.featurize([r.plan for r in records], database,
+                                [r.runtime_seconds for r in records])
+        return ZeroShotEstimator(model=fine_tune(self.model, graphs, trainer),
+                                 source=self.source)
+
+    def encode_plans(self, plans, database) -> list[Any]:
+        self._require_fitted()
+        return encode_graphs(self.featurize(plans, database),
+                             self.model.scalers)
+
+    def predict_encoded(self, encoded) -> np.ndarray:
+        return self.model.predict_log_from_encoded(list(encoded))
+
+    # -- persistence ---------------------------------------------------
+    def save(self, directory) -> None:
+        self._require_fitted()
+        self.model.save(directory)
+        self._write_manifest(directory, {"source": self.source.value})
+
+    @classmethod
+    def load(cls, directory, database: Database | None = None
+             ) -> "ZeroShotEstimator":
+        payload = cls._read_manifest(directory)
+        return cls(model=ZeroShotCostModel.load(directory),
+                   source=CardinalitySource(payload["source"]))
+
+
+class FlatVectorEstimator(CostEstimator):
+    """The structure-free ablation model behind the unified contract."""
+
+    name = "flat"
+
+    def __init__(self, hidden: tuple[int, ...] = (128, 64), seed: int = 0,
+                 source: CardinalitySource = CardinalitySource.ESTIMATED,
+                 model: FlatVectorCostModel | None = None):
+        self.source = source
+        self.model = model if model is not None \
+            else FlatVectorCostModel(hidden, seed)
+        self.featurizer = ZeroShotFeaturizer(source)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model.is_fitted
+
+    @property
+    def history(self) -> TrainingHistory | None:
+        return self.model.history
+
+    def fit(self, records, databases, trainer: TrainerConfig | None = None
+            ) -> "FlatVectorEstimator":
+        from repro.models.api import _database_map
+        mapping = _database_map(records, databases, self.name)
+        graphs = [self.featurizer.featurize(r.plan,
+                                            mapping[r.database_name],
+                                            r.runtime_seconds)
+                  for r in records]
+        self.model.fit(graphs, trainer)
+        return self
+
+    def encode_plans(self, plans, database) -> list[Any]:
+        self._require_fitted()
+        graphs = [self.featurizer.featurize(p, database) for p in plans]
+        matrix = np.stack([flat_plan_features(g) for g in graphs])
+        return list(self.model.scaler.transform(matrix))
+
+    def predict_encoded(self, encoded) -> np.ndarray:
+        return self.model.predict_log_from_vectors(np.stack(list(encoded)))
+
+    def save(self, directory) -> None:
+        self._require_fitted()
+        os.makedirs(directory, exist_ok=True)
+        save_state(self.model.net, os.path.join(directory, _WEIGHTS_FILE))
+        self._write_manifest(directory, {
+            "source": self.source.value,
+            "hidden": list(self.model.hidden),
+            "seed": self.model.seed,
+            "scaler": self.model.scaler.to_dict(),
+        })
+
+    @classmethod
+    def load(cls, directory, database: Database | None = None
+             ) -> "FlatVectorEstimator":
+        payload = cls._read_manifest(directory)
+        model = FlatVectorCostModel(tuple(payload["hidden"]), payload["seed"])
+        load_state(model.net, os.path.join(directory, _WEIGHTS_FILE))
+        model.scaler = StandardScaler.from_dict(payload["scaler"])
+        return cls(source=CardinalitySource(payload["source"]), model=model)
+
+
+# ----------------------------------------------------------------------
+# Workload-driven estimators (fit on the target database only)
+# ----------------------------------------------------------------------
+class _WorkloadDrivenEstimator(CostEstimator):
+    """Shared plumbing for the one-hot baselines: single training
+    database, out-of-vocabulary fallback, fallback bookkeeping."""
+
+    def __init__(self):
+        self.model = None
+        self.featurizer = None
+        self.fallback_log_runtime: float | None = None
+        self.database_name: str | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model is not None and self.model.is_fitted
+
+    @property
+    def history(self) -> TrainingHistory | None:
+        return None if self.model is None else self.model.history
+
+    def _check_database(self, database: Database | None) -> None:
+        if database is not None and self.database_name is not None \
+                and database.name != self.database_name:
+            raise ModelError(
+                f"{self.name} estimator was trained on "
+                f"{self.database_name!r}, asked to predict on "
+                f"{database.name!r} (one-hot featurizations do not "
+                f"transfer across databases)"
+            )
+
+    def _encode_one(self, plan: PhysicalPlan):
+        raise NotImplementedError
+
+    def encode_plans(self, plans, database) -> list[Any]:
+        self._require_fitted()
+        self._check_database(database)
+        encoded: list[Any] = []
+        for plan in plans:
+            try:
+                encoded.append(self._encode_one(plan))
+            except FeaturizationError:
+                encoded.append(OUT_OF_VOCABULARY)
+        return encoded
+
+    def predict_encoded(self, encoded) -> np.ndarray:
+        self._require_fitted()
+        encoded = list(encoded)
+        out = np.full(len(encoded), self.fallback_log_runtime)
+        known = [i for i, sample in enumerate(encoded)
+                 if sample is not OUT_OF_VOCABULARY]
+        if known:
+            out[known] = self.model.predict_log_runtime(
+                [encoded[i] for i in known])
+        return out
+
+
+class MSCNEstimator(_WorkloadDrivenEstimator):
+    """MSCN (set-based, Kipf et al.) behind the unified contract."""
+
+    name = "mscn"
+
+    def __init__(self, config: MSCNConfig | None = None):
+        super().__init__()
+        self.config = config or MSCNConfig()
+
+    def fit(self, records, databases, trainer: TrainerConfig | None = None
+            ) -> "MSCNEstimator":
+        database = single_database(records, databases, self.name)
+        self.featurizer = MSCNFeaturizer(database).fit(
+            [r.query for r in records])
+        samples = [self.featurizer.featurize(r.query, r.runtime_seconds)
+                   for r in records]
+        self.model = MSCNCostModel(self.featurizer, self.config)
+        self.model.fit(samples, trainer)
+        self.fallback_log_runtime = _median_log_runtime(records)
+        self.database_name = database.name
+        return self
+
+    def _encode_one(self, plan: PhysicalPlan):
+        return self.featurizer.featurize(plan.query)
+
+    def save(self, directory) -> None:
+        self._require_fitted()
+        os.makedirs(directory, exist_ok=True)
+        save_state(self.model.net, os.path.join(directory, _WEIGHTS_FILE))
+        vocabulary = self.featurizer.vocabulary
+        self._write_manifest(directory, {
+            "config": asdict(self.config),
+            "vocabulary": {"tables": vocabulary.tables,
+                           "joins": vocabulary.joins,
+                           "columns": vocabulary.columns},
+            "target_mean": self.model.target_mean,
+            "target_std": self.model.target_std,
+            "fallback_log_runtime": self.fallback_log_runtime,
+            "database_name": self.database_name,
+        })
+
+    @classmethod
+    def load(cls, directory, database: Database | None = None
+             ) -> "MSCNEstimator":
+        payload = cls._read_manifest(directory)
+        if database is None:
+            raise ModelError(
+                f"loading a {cls.name} estimator needs the database it was "
+                f"trained on (its featurizer reads live statistics)"
+            )
+        if database.name != payload["database_name"]:
+            raise ModelError(
+                f"saved {cls.name} estimator belongs to "
+                f"{payload['database_name']!r}, got {database.name!r}"
+            )
+        config_dict = dict(payload["config"])
+        for key in ("set_hidden", "final_hidden"):
+            config_dict[key] = tuple(config_dict[key])
+        estimator = cls(MSCNConfig(**config_dict))
+        estimator.featurizer = MSCNFeaturizer(database)
+        estimator.featurizer.vocabulary = MSCNVocabulary(
+            **payload["vocabulary"])
+        estimator.model = MSCNCostModel(estimator.featurizer,
+                                        estimator.config)
+        load_state(estimator.model.net,
+                   os.path.join(directory, _WEIGHTS_FILE))
+        estimator.model.target_mean = float(payload["target_mean"])
+        estimator.model.target_std = float(payload["target_std"])
+        estimator.model._fitted = True
+        estimator.fallback_log_runtime = payload["fallback_log_runtime"]
+        estimator.database_name = payload["database_name"]
+        return estimator
+
+
+class E2EEstimator(_WorkloadDrivenEstimator):
+    """E2E (plan-tree, Sun & Li) behind the unified contract."""
+
+    name = "e2e"
+
+    def __init__(self, config: E2EConfig | None = None):
+        super().__init__()
+        self.config = config or E2EConfig()
+
+    def fit(self, records, databases, trainer: TrainerConfig | None = None
+            ) -> "E2EEstimator":
+        database = single_database(records, databases, self.name)
+        self.featurizer = E2EFeaturizer(database).fit(
+            [r.plan for r in records])
+        samples = [self.featurizer.featurize(r.plan, r.runtime_seconds)
+                   for r in records]
+        self.model = E2ECostModel(self.featurizer, self.config)
+        self.model.fit(samples, trainer)
+        self.fallback_log_runtime = _median_log_runtime(records)
+        self.database_name = database.name
+        return self
+
+    def _encode_one(self, plan: PhysicalPlan):
+        return self.featurizer.featurize(plan)
+
+    def save(self, directory) -> None:
+        self._require_fitted()
+        os.makedirs(directory, exist_ok=True)
+        save_state(self.model.net, os.path.join(directory, _WEIGHTS_FILE))
+        self._write_manifest(directory, {
+            "config": asdict(self.config),
+            "columns": self.featurizer.columns,
+            "target_mean": self.model.target_mean,
+            "target_std": self.model.target_std,
+            "fallback_log_runtime": self.fallback_log_runtime,
+            "database_name": self.database_name,
+        })
+
+    @classmethod
+    def load(cls, directory, database: Database | None = None
+             ) -> "E2EEstimator":
+        payload = cls._read_manifest(directory)
+        if database is None:
+            raise ModelError(
+                f"loading a {cls.name} estimator needs the database it was "
+                f"trained on (its featurizer reads live statistics)"
+            )
+        if database.name != payload["database_name"]:
+            raise ModelError(
+                f"saved {cls.name} estimator belongs to "
+                f"{payload['database_name']!r}, got {database.name!r}"
+            )
+        config_dict = dict(payload["config"])
+        for key in ("encoder_hidden", "combine_hidden", "readout_hidden"):
+            config_dict[key] = tuple(config_dict[key])
+        estimator = cls(E2EConfig(**config_dict))
+        estimator.featurizer = E2EFeaturizer(database)
+        estimator.featurizer.columns = dict(payload["columns"])
+        estimator.model = E2ECostModel(estimator.featurizer,
+                                       estimator.config)
+        load_state(estimator.model.net,
+                   os.path.join(directory, _WEIGHTS_FILE))
+        estimator.model.target_mean = float(payload["target_mean"])
+        estimator.model.target_std = float(payload["target_std"])
+        estimator.model._fitted = True
+        estimator.fallback_log_runtime = payload["fallback_log_runtime"]
+        estimator.database_name = payload["database_name"]
+        return estimator
+
+
+# ----------------------------------------------------------------------
+# Classical baseline
+# ----------------------------------------------------------------------
+class ScaledOptimizerCostEstimator(CostEstimator):
+    """Linear optimizer-cost rescaling behind the unified contract."""
+
+    name = "scaled-optimizer-cost"
+
+    def __init__(self, model: ScaledOptimizerCost | None = None):
+        self.model = model if model is not None else ScaledOptimizerCost()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model.is_fitted
+
+    def fit(self, records, databases=None,
+            trainer: TrainerConfig | None = None
+            ) -> "ScaledOptimizerCostEstimator":
+        if not records:
+            raise ModelError(f"{self.name}: fit needs executed records")
+        self.model.fit(np.array([r.optimizer_cost for r in records]),
+                       np.array([r.runtime_seconds for r in records]))
+        return self
+
+    def encode_plans(self, plans, database) -> list[Any]:
+        self._require_fitted()
+        return [float(plan.total_cost) for plan in plans]
+
+    def predict_encoded(self, encoded) -> np.ndarray:
+        self._require_fitted()
+        costs = np.asarray(list(encoded), dtype=np.float64)
+        if not len(costs):
+            return np.zeros(0)
+        return np.log(self.model.predict_runtime(costs))
+
+    def save(self, directory) -> None:
+        self._require_fitted()
+        self._write_manifest(directory, {"slope": self.model.slope,
+                                         "intercept": self.model.intercept})
+
+    @classmethod
+    def load(cls, directory, database: Database | None = None
+             ) -> "ScaledOptimizerCostEstimator":
+        payload = cls._read_manifest(directory)
+        model = ScaledOptimizerCost()
+        model.slope = float(payload["slope"])
+        model.intercept = float(payload["intercept"])
+        return cls(model=model)
+
+
+for _estimator_class in (ZeroShotEstimator, FlatVectorEstimator,
+                         MSCNEstimator, E2EEstimator,
+                         ScaledOptimizerCostEstimator):
+    register_estimator(_estimator_class.name, _estimator_class, default=True)

@@ -32,9 +32,15 @@ class FlatVectorCostModel:
 
     def __init__(self, hidden: tuple[int, ...] = (128, 64), seed: int = 0):
         rng = np.random.default_rng(seed)
+        self.hidden = tuple(hidden)
+        self.seed = seed
         self.net = MLP(FLAT_DIM, list(hidden), 1, rng)
         self.scaler: StandardScaler | None = None
         self.history: TrainingHistory | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.scaler is not None
 
     def _vectorize(self, graphs: list[PlanGraph]) -> np.ndarray:
         return np.stack([flat_plan_features(g) for g in graphs])
@@ -63,12 +69,25 @@ class FlatVectorCostModel:
                                    trainer or TrainerConfig())
         return self.history
 
-    def predict_runtime(self, graphs: list[PlanGraph]) -> np.ndarray:
-        if self.scaler is None:
+    def predict_log_runtime(self, graphs: list[PlanGraph]) -> np.ndarray:
+        if not self.is_fitted:
             raise ModelError("model used before fit()")
         if not graphs:
             return np.zeros(0)
         matrix = self.scaler.transform(self._vectorize(graphs))
+        return self.predict_log_from_vectors(matrix)
+
+    def predict_log_from_vectors(self, matrix: np.ndarray) -> np.ndarray:
+        """Predicted log-runtimes for already-scaled flat vectors (the
+        per-plan precompute the serving layer caches)."""
+        if not self.is_fitted:
+            raise ModelError("model used before fit()")
+        if not len(matrix):
+            return np.zeros(0)
         self.net.eval()
         with no_grad():
-            return np.exp(self.net(Tensor(matrix)).reshape(-1).numpy().copy())
+            return self.net(Tensor(np.asarray(matrix))) \
+                .reshape(-1).numpy().copy()
+
+    def predict_runtime(self, graphs: list[PlanGraph]) -> np.ndarray:
+        return np.exp(self.predict_log_runtime(graphs))

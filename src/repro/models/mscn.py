@@ -121,9 +121,16 @@ class MSCNCostModel:
         self.history: TrainingHistory | None = None
         self.target_mean = 0.0
         self.target_std = 1.0
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
 
     def fit(self, samples: list[MSCNSample],
             trainer: TrainerConfig | None = None) -> TrainingHistory:
+        if not samples:
+            raise ModelError("MSCN training needs at least one sample")
         if any(s.target_log_runtime is None for s in samples):
             raise ModelError("all MSCN training samples need labels")
         trainer = trainer or TrainerConfig()
@@ -137,12 +144,18 @@ class MSCNCostModel:
 
         self.history = train_model(self.net, samples, self.net.forward,
                                    targets, trainer, collate=collate_mscn)
+        self._fitted = True
         return self.history
 
-    def predict_runtime(self, samples: list[MSCNSample]) -> np.ndarray:
+    def predict_log_runtime(self, samples: list[MSCNSample]) -> np.ndarray:
+        if not self.is_fitted:
+            raise ModelError("model must be fitted (or loaded) before predict")
         if not samples:
             return np.zeros(0)
         self.net.eval()
         with no_grad():
             normalized = self.net(samples).numpy().copy()
-        return np.exp(normalized * self.target_std + self.target_mean)
+        return normalized * self.target_std + self.target_mean
+
+    def predict_runtime(self, samples: list[MSCNSample]) -> np.ndarray:
+        return np.exp(self.predict_log_runtime(samples))

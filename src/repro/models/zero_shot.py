@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.featurize.batch import (
+    EncodedGraph,
     GraphBatch,
     batch_graphs,
     encode_graphs,
@@ -204,9 +205,26 @@ class ZeroShotCostModel:
             raise ModelError("model must be fitted (or loaded) before predict")
         if not graphs:
             return np.zeros(0)
+        return self.predict_log_from_encoded(encode_graphs(graphs,
+                                                           self.scalers))
+
+    def predict_log_from_encoded(self, encoded: list[EncodedGraph]
+                                 ) -> np.ndarray:
+        """Predicted log-runtimes for graphs encoded ahead of time.
+
+        The per-graph :func:`~repro.featurize.batch.encode_graph`
+        precompute (with this model's scalers) is the expensive step;
+        callers that hold plans for repeated prediction — notably
+        :class:`repro.serve.CostModelService` — cache it and pay only
+        the cheap merge + forward here.
+        """
+        if not self.is_fitted:
+            raise ModelError("model must be fitted (or loaded) before predict")
+        if not encoded:
+            return np.zeros(0)
         self.net.eval()
         with no_grad():
-            batch = batch_graphs(graphs, self.scalers)
+            batch = merge_encoded(encoded)
             normalized = self.net(batch).numpy().copy()
         return normalized * self.target_std + self.target_mean
 

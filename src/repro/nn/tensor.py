@@ -68,6 +68,33 @@ def _as_array(value) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
+def _stable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product whose per-row results are batch-size invariant.
+
+    BLAS picks different kernels (with different reduction orders) by
+    operand shape, so ``A[i:i+1] @ B`` is not bitwise equal to row
+    ``i`` of ``A @ B``; products with a single *output* column switch
+    kernels by row count as well.  Two fixes keep every per-row result
+    independent of how many rows ride in the batch:
+
+    * single-column products use an explicit row-wise pairwise
+      reduction (numpy's, whose order depends only on the row length);
+    * single-row operands are padded onto the general gemm path, whose
+      per-row results are row-count invariant.
+
+    Together they make a forward pass bit-identical whether a sample is
+    processed alone or inside a batch — the guarantee batch-size-
+    invariant inference (and the ``repro.serve`` micro-batching service
+    built on it) relies on.
+    """
+    if a.ndim == 2 and b.ndim == 2:
+        if b.shape[1] == 1:
+            return (a * b[:, 0]).sum(axis=1)[:, None]
+        if a.shape[0] == 1:
+            return (np.concatenate([a, a], axis=0) @ b)[:1]
+    return a @ b
+
+
 class Tensor:
     """A numpy array with reverse-mode autograd.
 
@@ -219,13 +246,15 @@ class Tensor:
 
     def __matmul__(self, other) -> "Tensor":
         other = Tensor._lift(other)
-        data = self.data @ other.data
+        data = _stable_matmul(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad @ other.data.swapaxes(-1, -2))
+                self._accumulate(
+                    _stable_matmul(grad, other.data.swapaxes(-1, -2)))
             if other.requires_grad:
-                other._accumulate(self.data.swapaxes(-1, -2) @ grad)
+                other._accumulate(
+                    _stable_matmul(self.data.swapaxes(-1, -2), grad))
 
         return self._make(data, (self, other), backward)
 

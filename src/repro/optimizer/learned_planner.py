@@ -19,7 +19,9 @@ import numpy as np
 
 from repro.db.database import Database
 from repro.errors import ModelError, OptimizerError
-from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.featurize.graph import CardinalitySource
+from repro.models.api import CostEstimator
+from repro.models.estimators import ZeroShotEstimator
 from repro.models.zero_shot import ZeroShotCostModel
 from repro.optimizer.planner import Planner, PlannerOptions
 from repro.plans.plan import PhysicalPlan
@@ -104,30 +106,55 @@ class PlanChoice:
 
 
 class ZeroShotPlanSelector:
-    """Picks the candidate plan with the lowest predicted runtime."""
+    """Picks the candidate plan with the lowest predicted runtime.
 
-    def __init__(self, database: Database, model: ZeroShotCostModel,
+    ``model`` accepts a fitted :class:`~repro.models.api.CostEstimator`
+    or a raw :class:`~repro.models.zero_shot.ZeroShotCostModel` (wrapped
+    with estimated cardinalities — candidates are never executed, so
+    actual cardinalities do not exist).  With ``service=True``
+    predictions go through a micro-batching
+    :class:`~repro.serve.CostModelService`; batch-size-invariant
+    inference keeps every choice identical either way.
+    """
+
+    def __init__(self, database: Database,
+                 model: "CostEstimator | ZeroShotCostModel",
                  options: PlannerOptions | None = None,
-                 switch_margin: float = 0.3):
-        if not model.is_fitted:
-            raise ModelError("plan selection needs a fitted zero-shot model")
+                 switch_margin: float = 0.3,
+                 service: bool = False):
+        if isinstance(model, CostEstimator):
+            self.estimator = model
+        else:
+            self.estimator = ZeroShotEstimator.from_model(
+                model, CardinalitySource.ESTIMATED)
+        if not self.estimator.is_fitted:
+            raise ModelError("plan selection needs a fitted cost model")
         if not 0.0 <= switch_margin < 1.0:
             raise ModelError("switch_margin must be in [0, 1)")
         self.database = database
-        self.model = model
         self.options = options or PlannerOptions()
         #: Only deviate from the classical plan when the predicted win
         #: exceeds this relative margin — prediction error within the
         #: margin should not flip plans.
         self.switch_margin = switch_margin
-        self._featurizer = ZeroShotFeaturizer(CardinalitySource.ESTIMATED)
+        if service:
+            from repro.serve import CostModelService
+            # cache_entries=0: candidate plans are regenerated for every
+            # choose() call, so an identity-keyed encode cache would
+            # never hit — only micro-batching applies here.
+            self._service = CostModelService(self.estimator, self.database,
+                                             cache_entries=0)
+        else:
+            self._service = None
 
     def choose(self, query: Query) -> PlanChoice:
         """Return the plan the zero-shot model prefers for ``query``."""
         candidates = candidate_plans(self.database, query, self.options)
-        graphs = [self._featurizer.featurize(plan, self.database)
-                  for plan in candidates]
-        predictions = self.model.predict_runtime(graphs)
+        if self._service is not None:
+            predictions = self._service.predict_runtime(candidates)
+        else:
+            predictions = self.estimator.predict_runtime(candidates,
+                                                         self.database)
         best = int(np.argmin(predictions))
         classical_prediction = predictions[0]  # hint set {} = classical plan
         if predictions[best] >= classical_prediction * (1.0 - self.switch_margin):

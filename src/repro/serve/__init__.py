@@ -1,0 +1,12 @@
+"""Serving layer: batched, caching cost prediction.
+
+:class:`~repro.serve.service.CostModelService` fronts any fitted
+:class:`~repro.models.api.CostEstimator` with micro-batching and an
+LRU-bounded cache of per-plan encode precomputes — the deployment shape
+of the paper's *one model serves every database* story, and the first
+step toward the ROADMAP's serve-heavy-traffic north star.
+"""
+
+from repro.serve.service import CostModelService, ServiceStats
+
+__all__ = ["CostModelService", "ServiceStats"]

@@ -1,0 +1,170 @@
+"""Batched, caching prediction service over a fitted cost estimator.
+
+The ROADMAP's north star is serving cost predictions to heavy traffic.
+Per-request :meth:`~repro.models.api.CostEstimator.predict_runtime`
+calls pay the full price every time: Python-level featurization of the
+plan, per-type feature scaling, and a model forward whose fixed
+overhead dwarfs the per-sample work at batch size one.
+:class:`CostModelService` removes both costs:
+
+* **micro-batching** — requests are featurized individually but pushed
+  through the model in chunks of up to ``max_batch_size`` samples, so
+  the per-forward overhead amortizes across the batch;
+* **encode caching** — the per-plan encode precompute (for the
+  zero-shot model: the scaled
+  :class:`~repro.featurize.batch.EncodedGraph` of PR 2's
+  ``encode_graphs``) is cached under an LRU bound, keyed by plan
+  identity (SQL text for string requests), so repeated predictions of
+  a known plan skip featurization entirely.
+
+Because inference is **batch-size invariant** (single-row matmuls take
+the same BLAS path as batched ones, see ``repro.nn.tensor``), the
+service returns bit-identical predictions to direct
+``predict_runtime`` calls — cold cache, warm cache, or any micro-batch
+partition.  ``benchmarks/test_microbench.py`` gates both properties:
+bit-identity and a ≥3× throughput win over per-plan prediction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import ModelError
+from repro.models.api import CostEstimator, resolve_plans
+from repro.plans.plan import PhysicalPlan
+
+__all__ = ["CostModelService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Operational counters of one service instance."""
+
+    requests: int = 0        #: plans/queries predicted
+    batches: int = 0         #: model forwards issued
+    cache_hits: int = 0      #: encode precomputes served from the LRU
+    cache_misses: int = 0    #: encode precomputes computed fresh
+    cache_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests whose encode step was cached."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class _CacheEntry:
+    encoded: Any
+    #: Strong reference pinning the request object while its encoding
+    #: is cached: identity keys stay unambiguous because a cached
+    #: object's ``id`` cannot be recycled.
+    source: Any
+
+
+class CostModelService:
+    """Serve one fitted estimator on one database (see module docs).
+
+    Parameters
+    ----------
+    estimator:
+        Any fitted :class:`~repro.models.api.CostEstimator`.
+    database:
+        The database predictions are served for (plans are validated
+        against it by the estimator's featurizer; SQL requests are
+        parsed and planned on it).
+    max_batch_size:
+        Upper bound on samples per model forward.
+    cache_entries:
+        LRU bound on cached per-plan encodings (0 disables caching).
+    """
+
+    def __init__(self, estimator: CostEstimator, database: Database,
+                 max_batch_size: int = 64, cache_entries: int = 512):
+        if not isinstance(estimator, CostEstimator):
+            raise ModelError(
+                "CostModelService needs a CostEstimator; wrap core models "
+                "via repro.models.get_estimator / ZeroShotEstimator.from_model"
+            )
+        estimator._require_fitted()
+        if max_batch_size < 1:
+            raise ModelError(f"max_batch_size must be >= 1, "
+                             f"got {max_batch_size}")
+        if cache_entries < 0:
+            raise ModelError(f"cache_entries must be >= 0, "
+                             f"got {cache_entries}")
+        self.estimator = estimator
+        self.database = database
+        self.max_batch_size = max_batch_size
+        self.cache_entries = cache_entries
+        self.stats = ServiceStats()
+        self._cache: OrderedDict[Any, _CacheEntry] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def predict_log_runtime(self,
+                            items: Sequence["PhysicalPlan | str | Any"]
+                            ) -> np.ndarray:
+        """Predicted log-runtimes for a batch of plans / queries / SQL."""
+        encoded = [self._encode(item) for item in items]
+        self.stats.requests += len(encoded)
+        outputs = []
+        for start in range(0, len(encoded), self.max_batch_size):
+            chunk = encoded[start:start + self.max_batch_size]
+            outputs.append(self.estimator.predict_encoded(chunk))
+            self.stats.batches += 1
+        return np.concatenate(outputs) if outputs else np.zeros(0)
+
+    def predict_runtime(self, items: Sequence["PhysicalPlan | str | Any"]
+                        ) -> np.ndarray:
+        """Predicted runtimes in seconds."""
+        return np.exp(self.predict_log_runtime(items))
+
+    # ------------------------------------------------------------------
+    def warm(self, items: Sequence["PhysicalPlan | str | Any"]) -> int:
+        """Pre-populate the encode cache (featurization cost only, no
+        model forwards); returns the number of fresh encodes."""
+        before = self.stats.cache_misses
+        for item in items:
+            self._encode(item)
+        return self.stats.cache_misses - before
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cached_plans(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_of(item) -> Any:
+        # SQL text keys by value (parsing + planning is deterministic
+        # for a fixed database); plan objects key by identity.
+        if isinstance(item, str):
+            return ("sql", item)
+        return ("plan", id(item))
+
+    def _encode(self, item):
+        key = self._key_of(item)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            return entry.encoded
+        self.stats.cache_misses += 1
+        # A cache hit skips this entirely: SQL requests save the parse +
+        # plan + featurize, plan requests save the featurize.
+        plan = item if isinstance(item, PhysicalPlan) \
+            else resolve_plans([item], self.database)[0]
+        encoded = self.estimator.encode_plans([plan], self.database)[0]
+        if self.cache_entries:
+            self._cache[key] = _CacheEntry(encoded=encoded, source=item)
+            while len(self._cache) > self.cache_entries:
+                self._cache.popitem(last=False)
+                self.stats.cache_evictions += 1
+        return encoded

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.db.database import Database
 from repro.errors import ModelError
+from repro.models.api import CostEstimator
 from repro.models.zero_shot import ZeroShotCostModel
 from repro.optimizer.whatif import IndexSpec
 from repro.sql.ast import Query
@@ -40,9 +41,12 @@ class AdvisorRecommendation:
 class IndexAdvisor:
     """Greedy what-if index selection for a given workload."""
 
-    def __init__(self, database: Database, model: ZeroShotCostModel):
+    def __init__(self, database: Database,
+                 model: "CostEstimator | ZeroShotCostModel",
+                 service: bool = False):
         self.database = database
-        self.estimator = ZeroShotWhatIfEstimator(database, model)
+        self.estimator = ZeroShotWhatIfEstimator(database, model,
+                                                 service=service)
 
     # ------------------------------------------------------------------
     def candidate_indexes(self, queries: list[Query]) -> list[IndexSpec]:

@@ -1,9 +1,18 @@
 """Zero-shot What-If runtime estimation.
 
 Combines the :class:`~repro.optimizer.whatif.WhatIfPlanner` (hypothetical
-indexes, re-planning) with a trained zero-shot model.  Hypothetical plans
-cannot be executed, so features use the optimizer's *estimated*
-cardinalities — the deployable configuration of the paper.
+indexes, re-planning) with a cost model behind the unified
+:class:`~repro.models.api.CostEstimator` contract.  Hypothetical plans
+cannot be executed, so features must come from the optimizer's
+*estimated* cardinalities — the deployable configuration of the paper.
+
+Workload estimates are **batched**: all queries are re-planned under the
+hypothetical design, then priced in one estimator call (optionally
+through a :class:`~repro.serve.CostModelService` for micro-batching;
+the service's encode cache is disabled here because every estimate
+re-plans its queries into fresh plan objects, which an identity-keyed
+cache can never hit).  Because inference is batch-size invariant,
+batching does not change a single prediction bit.
 """
 
 from __future__ import annotations
@@ -14,9 +23,12 @@ import numpy as np
 
 from repro.db.database import Database
 from repro.errors import ModelError
-from repro.featurize.graph import CardinalitySource, ZeroShotFeaturizer
+from repro.featurize.graph import CardinalitySource
+from repro.models.api import CostEstimator
+from repro.models.estimators import ZeroShotEstimator
 from repro.models.zero_shot import ZeroShotCostModel
 from repro.optimizer.whatif import IndexSpec, WhatIfPlanner
+from repro.plans.plan import PhysicalPlan
 from repro.sql.ast import Query
 
 __all__ = ["ZeroShotWhatIfEstimator"]
@@ -24,16 +36,51 @@ __all__ = ["ZeroShotWhatIfEstimator"]
 
 @dataclass
 class ZeroShotWhatIfEstimator:
-    """Answers "how fast would this query be if index X existed?"."""
+    """Answers "how fast would this query be if index X existed?".
+
+    ``model`` accepts either a fitted
+    :class:`~repro.models.api.CostEstimator` or a raw
+    :class:`~repro.models.zero_shot.ZeroShotCostModel` (wrapped with
+    estimated cardinalities, the only source valid for never-executed
+    hypothetical plans).  Pass ``service=True`` to route predictions
+    through a micro-batching :class:`~repro.serve.CostModelService`.
+    """
 
     database: Database
-    model: ZeroShotCostModel
+    model: "CostEstimator | ZeroShotCostModel"
+    service: bool = False
 
     def __post_init__(self):
-        if not self.model.is_fitted:
-            raise ModelError("what-if estimation needs a fitted zero-shot model")
+        if isinstance(self.model, CostEstimator):
+            self.estimator = self.model
+        else:
+            self.estimator = ZeroShotEstimator.from_model(
+                self.model, CardinalitySource.ESTIMATED)
+        if not self.estimator.is_fitted:
+            raise ModelError("what-if estimation needs a fitted cost model")
+        source = getattr(self.estimator, "source", None)
+        if source is CardinalitySource.ACTUAL:
+            raise ModelError(
+                "what-if estimation needs estimated cardinalities: "
+                "hypothetical plans are never executed, so actual "
+                "cardinalities do not exist"
+            )
         self._planner = WhatIfPlanner(self.database)
-        self._featurizer = ZeroShotFeaturizer(CardinalitySource.ESTIMATED)
+        if self.service:
+            from repro.serve import CostModelService
+            # cache_entries=0: what-if plans are freshly built per
+            # estimate, so an identity-keyed encode cache would only
+            # pin dead plans and churn its LRU without ever hitting.
+            self._predictor = CostModelService(self.estimator, self.database,
+                                               cache_entries=0)
+        else:
+            self._predictor = None
+
+    # ------------------------------------------------------------------
+    def _predict(self, plans: list[PhysicalPlan]) -> np.ndarray:
+        if self._predictor is not None:
+            return self._predictor.predict_runtime(plans)
+        return self.estimator.predict_runtime(plans, self.database)
 
     def estimate_runtime(self, query: Query,
                          indexes: list[IndexSpec] | None = None) -> float:
@@ -41,17 +88,22 @@ class ZeroShotWhatIfEstimator:
         hypothetical indexes (none = current physical design)."""
         if indexes:
             plan = self._planner.plan_with_indexes(query, indexes)
+            # Featurization reads live index statistics, so prediction
+            # must happen while the hypothetical indexes exist.
             with self._planner.hypothetical_indexes(indexes):
-                graph = self._featurizer.featurize(plan, self.database)
-        else:
-            plan = self._planner.plan_without_indexes(query)
-            graph = self._featurizer.featurize(plan, self.database)
-        return float(self.model.predict_runtime([graph])[0])
+                return float(self._predict([plan])[0])
+        plan = self._planner.plan_without_indexes(query)
+        return float(self._predict([plan])[0])
 
     def estimate_workload(self, queries: list[Query],
                           indexes: list[IndexSpec] | None = None) -> float:
-        """Total predicted runtime of a workload (seconds)."""
+        """Total predicted runtime of a workload (seconds), batched."""
         if not queries:
             raise ModelError("cannot estimate an empty workload")
-        return float(np.sum([self.estimate_runtime(q, indexes)
-                             for q in queries]))
+        if indexes:
+            plans = [self._planner.plan_with_indexes(q, indexes)
+                     for q in queries]
+            with self._planner.hypothetical_indexes(indexes):
+                return float(np.sum(self._predict(plans)))
+        plans = [self._planner.plan_without_indexes(q) for q in queries]
+        return float(np.sum(self._predict(plans)))

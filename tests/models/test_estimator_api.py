@@ -1,0 +1,224 @@
+"""Conformance suite for the unified ``CostEstimator`` contract.
+
+Every registered estimator must satisfy the same surface: uniform
+``ModelError`` before fit, plan/SQL/query prediction, per-plan ==
+batched (batch-size-invariant inference), save/load round-trips, and —
+for the workload-driven models — the out-of-vocabulary fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.featurize import CardinalitySource
+from repro.models import (
+    CostEstimator,
+    TrainerConfig,
+    ZeroShotEstimator,
+    available_estimators,
+    get_estimator,
+    load_estimator,
+    register_estimator,
+)
+from repro.models.api import reset_estimators
+from repro.sql import parse_query
+from repro.workload import WorkloadRunner, make_benchmark_workload
+
+ALL_NAMES = ("zero-shot", "flat", "mscn", "e2e", "scaled-optimizer-cost")
+WORKLOAD_DRIVEN = ("mscn", "e2e")
+
+
+@pytest.fixture(scope="module")
+def executed(tiny_imdb):
+    runner = WorkloadRunner(tiny_imdb, seed=5)
+    return runner.run(make_benchmark_workload(tiny_imdb, "scale", 30, seed=5))
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_imdb, executed):
+    trainer = TrainerConfig(epochs=6, batch_size=16,
+                            early_stopping_patience=6, seed=0)
+    return {name: get_estimator(name).fit(executed, tiny_imdb, trainer)
+            for name in ALL_NAMES}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_estimators()
+        for name in ALL_NAMES:
+            assert name in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ModelError, match="unknown estimator"):
+            get_estimator("no-such-model")
+
+    def test_register_and_reset(self):
+        class Custom(ZeroShotEstimator):
+            name = "custom-test-estimator"
+
+        previous = register_estimator("custom-test-estimator", Custom)
+        assert previous is None
+        try:
+            assert isinstance(get_estimator("custom-test-estimator"), Custom)
+        finally:
+            reset_estimators()
+        assert "custom-test-estimator" not in available_estimators()
+
+    def test_registration_validation(self):
+        with pytest.raises(ModelError):
+            register_estimator("", ZeroShotEstimator)
+        with pytest.raises(ModelError):
+            register_estimator("not-callable", object())
+
+
+class TestContract:
+    # Parametrized over the *live* registry: any estimator registered in
+    # the future is automatically held to the same contract.
+    @pytest.mark.parametrize("name", available_estimators())
+    def test_unfitted_predict_raises_uniform_model_error(self, name,
+                                                         tiny_imdb,
+                                                         executed):
+        estimator = get_estimator(name)
+        assert isinstance(estimator, CostEstimator)
+        assert estimator.name == name
+        assert not estimator.is_fitted
+        plans = [executed[0].plan]
+        with pytest.raises(ModelError, match="before fit"):
+            estimator.predict_runtime(plans, tiny_imdb)
+        with pytest.raises(ModelError, match="before fit"):
+            estimator.predict_log_runtime(plans, tiny_imdb)
+        with pytest.raises(ModelError):
+            estimator.save("/nonexistent/never-written")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_fit_then_predict(self, name, fitted, tiny_imdb, executed):
+        estimator = fitted[name]
+        assert estimator.is_fitted
+        plans = [r.plan for r in executed[:8]]
+        runtimes = estimator.predict_runtime(plans, tiny_imdb)
+        assert runtimes.shape == (8,)
+        assert (runtimes > 0).all()
+        logs = estimator.predict_log_runtime(plans, tiny_imdb)
+        np.testing.assert_array_equal(np.exp(logs), runtimes)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_empty_batch(self, name, fitted, tiny_imdb):
+        assert fitted[name].predict_runtime([], tiny_imdb).shape == (0,)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_sql_and_query_inputs(self, name, fitted, tiny_imdb):
+        estimator = fitted[name]
+        sql = ("SELECT COUNT(*) FROM title t "
+               "WHERE t.production_year > 2000")
+        from_sql = estimator.predict_runtime([sql], tiny_imdb)
+        from_query = estimator.predict_runtime([parse_query(sql)], tiny_imdb)
+        np.testing.assert_array_equal(from_sql, from_query)
+        with pytest.raises(ModelError, match="requires a database"):
+            estimator.predict_runtime([sql])
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_per_plan_equals_batched(self, name, fitted, tiny_imdb,
+                                     executed):
+        """Batch-size-invariant inference: the property repro.serve's
+        bit-identity guarantee is built on."""
+        estimator = fitted[name]
+        plans = [r.plan for r in executed[:10]]
+        batched = estimator.predict_runtime(plans, tiny_imdb)
+        per_plan = np.array([estimator.predict_runtime([p], tiny_imdb)[0]
+                             for p in plans])
+        np.testing.assert_array_equal(batched, per_plan)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_save_load_round_trip(self, name, fitted, tiny_imdb, executed,
+                                  tmp_path):
+        estimator = fitted[name]
+        plans = [r.plan for r in executed[:6]]
+        expected = estimator.predict_runtime(plans, tiny_imdb)
+        directory = tmp_path / name
+        estimator.save(directory)
+        loaded = load_estimator(directory, tiny_imdb)
+        assert type(loaded) is type(estimator)
+        assert loaded.is_fitted
+        np.testing.assert_array_equal(
+            loaded.predict_runtime(plans, tiny_imdb), expected)
+
+    def test_load_estimator_on_garbage(self, tmp_path):
+        with pytest.raises(ModelError, match="saved estimator"):
+            load_estimator(tmp_path)
+
+
+class TestWorkloadDrivenSpecifics:
+    @pytest.mark.parametrize("name", WORKLOAD_DRIVEN)
+    def test_out_of_vocabulary_fallback(self, name, fitted, tiny_imdb,
+                                        executed):
+        """Plans outside the one-hot vocabulary are priced at the
+        training-median runtime instead of erroring out."""
+        estimator = fitted[name]
+        # The training workload ("scale") never filters on title.id, so
+        # the predicate column is outside both one-hot vocabularies.
+        runner = WorkloadRunner(tiny_imdb, seed=99)
+        record = runner.run_query(parse_query(
+            "SELECT COUNT(*) FROM title t WHERE t.id < 50"))
+        prediction = estimator.predict_runtime([record.plan], tiny_imdb)
+        fallback = np.exp(estimator.fallback_log_runtime)
+        np.testing.assert_allclose(prediction, [fallback])
+
+    @pytest.mark.parametrize("name", WORKLOAD_DRIVEN)
+    def test_multi_database_training_rejected(self, name, executed,
+                                              small_synthetic_db):
+        runner = WorkloadRunner(small_synthetic_db, seed=1)
+        from repro.workload import WorkloadSpec, generate_workload
+        other = runner.run(generate_workload(
+            small_synthetic_db, WorkloadSpec(num_queries=3, seed=1)))
+        databases = {executed[0].database_name: None,
+                     small_synthetic_db.name: small_synthetic_db}
+        with pytest.raises(ModelError, match="exactly one"):
+            get_estimator(name).fit(list(executed[:3]) + other, databases)
+
+    @pytest.mark.parametrize("name", WORKLOAD_DRIVEN)
+    def test_wrong_database_at_predict_rejected(self, name, fitted,
+                                                small_synthetic_db,
+                                                executed):
+        with pytest.raises(ModelError, match="trained on"):
+            fitted[name].predict_runtime([executed[0].plan],
+                                         small_synthetic_db)
+
+    @pytest.mark.parametrize("name", WORKLOAD_DRIVEN)
+    def test_load_requires_database(self, name, fitted, tmp_path):
+        directory = tmp_path / name
+        fitted[name].save(directory)
+        with pytest.raises(ModelError, match="needs the database"):
+            load_estimator(directory)
+
+
+class TestZeroShotEstimator:
+    def test_fine_tune_returns_new_fitted_estimator(self, fitted,
+                                                    tiny_imdb, executed):
+        base = fitted["zero-shot"]
+        before = base.predict_runtime([executed[0].plan], tiny_imdb)
+        tuned = base.fine_tune(executed[:10], tiny_imdb, TrainerConfig(
+            epochs=2, batch_size=8, validation_fraction=0.0,
+            early_stopping_patience=2))
+        assert tuned is not base
+        assert tuned.is_fitted
+        # The original model is untouched by fine-tuning.
+        np.testing.assert_array_equal(
+            base.predict_runtime([executed[0].plan], tiny_imdb), before)
+
+    def test_from_model_wraps_trained_model(self, fitted, tiny_imdb,
+                                            executed):
+        base = fitted["zero-shot"]
+        wrapped = ZeroShotEstimator.from_model(base.model, base.source)
+        plans = [r.plan for r in executed[:5]]
+        np.testing.assert_array_equal(
+            wrapped.predict_runtime(plans, tiny_imdb),
+            base.predict_runtime(plans, tiny_imdb))
+
+    def test_featurize_adapter_labels(self, fitted, tiny_imdb, executed):
+        base = fitted["zero-shot"]
+        plans = [r.plan for r in executed[:4]]
+        runtimes = [r.runtime_seconds for r in executed[:4]]
+        graphs = base.featurize(plans, tiny_imdb, runtimes)
+        assert all(g.target_log_runtime is not None for g in graphs)
+        with pytest.raises(ModelError, match="mismatched"):
+            base.featurize(plans, tiny_imdb, runtimes[:2])

@@ -60,3 +60,82 @@ class TestSelector:
     def test_unfitted_model_rejected(self, tiny_imdb):
         with pytest.raises(ModelError):
             ZeroShotPlanSelector(tiny_imdb, ZeroShotCostModel())
+
+    def test_invalid_switch_margin_rejected(self, tiny_imdb, model):
+        for margin in (-0.1, 1.0, 1.5):
+            with pytest.raises(ModelError):
+                ZeroShotPlanSelector(tiny_imdb, model, switch_margin=margin)
+
+    def test_estimator_input_equals_model_input(self, tiny_imdb, model):
+        """The selector accepts the unified CostEstimator directly."""
+        from repro.models import ZeroShotEstimator
+        from repro.featurize import CardinalitySource
+        estimator = ZeroShotEstimator.from_model(
+            model, CardinalitySource.ESTIMATED)
+        query = parse_query(JOIN_QUERY)
+        via_model = ZeroShotPlanSelector(tiny_imdb, model).choose(query)
+        via_estimator = ZeroShotPlanSelector(tiny_imdb,
+                                             estimator).choose(query)
+        assert via_model.predictions == via_estimator.predictions
+        assert via_model.agrees_with_classical == \
+            via_estimator.agrees_with_classical
+
+    def test_service_backed_choice_identical(self, tiny_imdb, model):
+        """service=True routes predictions through CostModelService;
+        batch-size-invariant inference keeps choices bit-identical."""
+        query = parse_query(JOIN_QUERY)
+        plain = ZeroShotPlanSelector(tiny_imdb, model).choose(query)
+        served_selector = ZeroShotPlanSelector(tiny_imdb, model,
+                                               service=True)
+        served = served_selector.choose(query)
+        assert served.predictions == plain.predictions
+        assert served.predicted_seconds == plain.predicted_seconds
+        # Candidate plans are regenerated per call, so the selector's
+        # service runs with its encode cache disabled.
+        assert served_selector._service.cached_plans == 0
+        assert served_selector._service.stats.requests == \
+            served.num_candidates
+
+
+class TestSwitchMargin:
+    """The switch-margin fallback: predicted wins inside the margin
+    must not flip the choice away from the classical plan."""
+
+    @pytest.fixture(scope="class")
+    def model(self, tiny_imdb):
+        graphs = build_labelled_graphs([tiny_imdb], 50,
+                                       CardinalitySource.ESTIMATED, seed=5)
+        model = ZeroShotCostModel(ZeroShotConfig(hidden_dim=32, seed=0))
+        model.fit(graphs, TrainerConfig(epochs=25, batch_size=32,
+                                        early_stopping_patience=25))
+        return model
+
+    def test_extreme_margin_always_keeps_classical(self, tiny_imdb, model):
+        selector = ZeroShotPlanSelector(tiny_imdb, model,
+                                        switch_margin=0.99)
+        choice = selector.choose(parse_query(JOIN_QUERY))
+        assert choice.agrees_with_classical
+        assert choice.predicted_seconds == choice.predictions[0]
+
+    def test_zero_margin_takes_any_predicted_win(self, tiny_imdb, model):
+        selector = ZeroShotPlanSelector(tiny_imdb, model,
+                                        switch_margin=0.0)
+        choice = selector.choose(parse_query(JOIN_QUERY))
+        assert choice.predicted_seconds == min(choice.predictions)
+
+    def test_margin_interpolates(self, tiny_imdb, model):
+        """Whenever the zero-margin selector switches plans, a large
+        enough margin forces the choice back to classical."""
+        queries = [parse_query(JOIN_QUERY),
+                   parse_query("SELECT COUNT(*) FROM title t, "
+                               "movie_companies mc WHERE t.id = mc.movie_id "
+                               "AND t.production_year > 1990")]
+        eager = ZeroShotPlanSelector(tiny_imdb, model, switch_margin=0.0)
+        cautious = ZeroShotPlanSelector(tiny_imdb, model,
+                                        switch_margin=0.99)
+        for query in queries:
+            eager_choice = eager.choose(query)
+            cautious_choice = cautious.choose(query)
+            assert cautious_choice.agrees_with_classical
+            # The candidate portfolio itself is margin-independent.
+            assert eager_choice.predictions == cautious_choice.predictions

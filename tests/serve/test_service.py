@@ -1,0 +1,151 @@
+"""The batched, caching prediction service (``repro.serve``)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import TrainerConfig, get_estimator
+from repro.serve import CostModelService
+from repro.sql import parse_query
+from repro.workload import WorkloadRunner, make_benchmark_workload
+
+
+@pytest.fixture(scope="module")
+def executed(tiny_imdb):
+    runner = WorkloadRunner(tiny_imdb, seed=11)
+    return runner.run(make_benchmark_workload(tiny_imdb, "scale", 24,
+                                              seed=11))
+
+
+@pytest.fixture(scope="module")
+def estimator(tiny_imdb, executed):
+    trainer = TrainerConfig(epochs=6, batch_size=16,
+                            early_stopping_patience=6, seed=0)
+    return get_estimator("zero-shot").fit(executed, tiny_imdb, trainer)
+
+
+@pytest.fixture()
+def service(estimator, tiny_imdb):
+    return CostModelService(estimator, tiny_imdb, max_batch_size=8,
+                            cache_entries=64)
+
+
+class TestValidation:
+    def test_unfitted_estimator_rejected(self, tiny_imdb):
+        with pytest.raises(ModelError, match="before fit"):
+            CostModelService(get_estimator("zero-shot"), tiny_imdb)
+
+    def test_core_model_rejected(self, tiny_imdb, estimator):
+        with pytest.raises(ModelError, match="CostEstimator"):
+            CostModelService(estimator.model, tiny_imdb)
+
+    def test_bad_parameters_rejected(self, tiny_imdb, estimator):
+        with pytest.raises(ModelError):
+            CostModelService(estimator, tiny_imdb, max_batch_size=0)
+        with pytest.raises(ModelError):
+            CostModelService(estimator, tiny_imdb, cache_entries=-1)
+
+
+class TestPredictions:
+    def test_bit_identical_to_estimator(self, service, estimator,
+                                        tiny_imdb, executed):
+        """Micro-batching + caching must not change a single bit —
+        cold cache, warm cache, or direct estimator call."""
+        plans = [r.plan for r in executed]
+        reference = estimator.predict_runtime(plans, tiny_imdb)
+        cold = service.predict_runtime(plans)
+        warm = service.predict_runtime(plans)
+        np.testing.assert_array_equal(cold, reference)
+        np.testing.assert_array_equal(warm, reference)
+
+    def test_bit_identical_to_per_plan_calls(self, service, estimator,
+                                             tiny_imdb, executed):
+        plans = [r.plan for r in executed[:10]]
+        per_plan = np.array([estimator.predict_runtime([p], tiny_imdb)[0]
+                             for p in plans])
+        np.testing.assert_array_equal(service.predict_runtime(plans),
+                                      per_plan)
+
+    def test_mixed_inputs(self, service, tiny_imdb, executed):
+        sql = "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990"
+        items = [executed[0].plan, sql, parse_query(sql)]
+        out = service.predict_runtime(items)
+        assert out.shape == (3,)
+        assert (out > 0).all()
+        # SQL text and its parsed form plan identically.
+        np.testing.assert_array_equal(out[1], out[2])
+
+    def test_empty_batch(self, service):
+        assert service.predict_runtime([]).shape == (0,)
+
+    def test_log_runtime_consistent(self, service, executed):
+        plans = [r.plan for r in executed[:5]]
+        np.testing.assert_array_equal(
+            np.exp(service.predict_log_runtime(plans)),
+            service.predict_runtime(plans))
+
+
+class TestBatchingAndCache:
+    def test_micro_batch_count(self, service, executed):
+        plans = [r.plan for r in executed[:20]]
+        service.predict_runtime(plans)
+        assert service.stats.batches == 3  # ceil(20 / 8)
+        assert service.stats.requests == 20
+
+    def test_cache_hits_on_repeat(self, service, executed):
+        plans = [r.plan for r in executed[:6]]
+        service.predict_runtime(plans)
+        assert service.stats.cache_misses == 6
+        assert service.stats.cache_hits == 0
+        service.predict_runtime(plans)
+        assert service.stats.cache_misses == 6
+        assert service.stats.cache_hits == 6
+        assert service.stats.hit_rate == 0.5
+
+    def test_sql_requests_cached_by_text(self, service):
+        sql = "SELECT COUNT(*) FROM title t WHERE t.votes > 1000"
+        first = service.predict_runtime([sql])
+        second = service.predict_runtime([sql])
+        np.testing.assert_array_equal(first, second)
+        assert service.stats.cache_hits == 1
+
+    def test_lru_bound_and_evictions(self, estimator, tiny_imdb, executed):
+        service = CostModelService(estimator, tiny_imdb, max_batch_size=8,
+                                   cache_entries=4)
+        plans = [r.plan for r in executed[:10]]
+        service.predict_runtime(plans)
+        assert service.cached_plans == 4
+        assert service.stats.cache_evictions == 6
+
+    def test_cache_disabled(self, estimator, tiny_imdb, executed):
+        service = CostModelService(estimator, tiny_imdb, cache_entries=0)
+        plans = [r.plan for r in executed[:3]]
+        service.predict_runtime(plans)
+        service.predict_runtime(plans)
+        assert service.cached_plans == 0
+        assert service.stats.cache_hits == 0
+        assert service.stats.cache_misses == 6
+
+    def test_warm_and_clear(self, service, executed):
+        plans = [r.plan for r in executed[:5]]
+        assert service.warm(plans) == 5
+        assert service.warm(plans) == 0
+        service.clear_cache()
+        assert service.cached_plans == 0
+        assert service.warm(plans) == 5
+
+
+class TestOtherEstimators:
+    @pytest.mark.parametrize("name", ("flat", "mscn", "e2e",
+                                      "scaled-optimizer-cost"))
+    def test_service_serves_every_registered_estimator(self, name,
+                                                       tiny_imdb,
+                                                       executed):
+        trainer = TrainerConfig(epochs=3, batch_size=16,
+                                early_stopping_patience=3, seed=0)
+        estimator = get_estimator(name).fit(executed, tiny_imdb, trainer)
+        service = CostModelService(estimator, tiny_imdb, max_batch_size=7)
+        plans = [r.plan for r in executed[:9]]
+        np.testing.assert_array_equal(
+            service.predict_runtime(plans),
+            estimator.predict_runtime(plans, tiny_imdb))

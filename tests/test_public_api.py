@@ -9,8 +9,9 @@ import repro
 
 SUBPACKAGES = ["repro.db", "repro.sql", "repro.plans", "repro.engine",
                "repro.optimizer", "repro.runtime", "repro.nn",
-               "repro.featurize", "repro.models", "repro.workload",
-               "repro.tuning", "repro.experiments"]
+               "repro.featurize", "repro.models", "repro.models.api",
+               "repro.workload", "repro.tuning", "repro.serve",
+               "repro.experiments"]
 
 
 class TestApiSurface:

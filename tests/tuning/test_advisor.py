@@ -82,6 +82,67 @@ class TestWhatIfEstimator:
             estimator.estimate_workload([])
 
 
+class TestWhatIfThroughUnifiedAPI:
+    """The what-if estimator speaks the CostEstimator contract:
+    estimator input, service-backed prediction, batched workloads."""
+
+    def test_estimator_input_equals_model_input(self, target_db,
+                                                whatif_model):
+        from repro.models import ZeroShotEstimator
+        estimator = ZeroShotEstimator.from_model(
+            whatif_model, CardinalitySource.ESTIMATED)
+        via_model = ZeroShotWhatIfEstimator(target_db, whatif_model)
+        via_estimator = ZeroShotWhatIfEstimator(target_db, estimator)
+        for text in WORKLOAD:
+            query = parse_query(text)
+            assert via_model.estimate_runtime(query) == \
+                via_estimator.estimate_runtime(query)
+
+    def test_service_backed_estimates_identical(self, target_db,
+                                                whatif_model):
+        plain = ZeroShotWhatIfEstimator(target_db, whatif_model)
+        served = ZeroShotWhatIfEstimator(target_db, whatif_model,
+                                         service=True)
+        queries = [parse_query(t) for t in WORKLOAD]
+        specs = [IndexSpec("title", "votes")]
+        assert plain.estimate_workload(queries) == \
+            served.estimate_workload(queries)
+        assert plain.estimate_workload(queries, specs) == \
+            served.estimate_workload(queries, specs)
+
+    def test_workload_estimate_is_batched_sum(self, target_db,
+                                              whatif_model):
+        """One batched call equals the sum of per-query estimates —
+        bit-identical, thanks to batch-size-invariant inference."""
+        estimator = ZeroShotWhatIfEstimator(target_db, whatif_model)
+        queries = [parse_query(t) for t in WORKLOAD]
+        batched = estimator.estimate_workload(queries)
+        summed = float(np.sum([estimator.estimate_runtime(q)
+                               for q in queries]))
+        assert batched == summed
+
+    def test_actual_cardinality_estimator_rejected(self, target_db,
+                                                   whatif_model):
+        from repro.models import ZeroShotEstimator
+        actual = ZeroShotEstimator.from_model(whatif_model,
+                                              CardinalitySource.ACTUAL)
+        with pytest.raises(ModelError, match="estimated cardinalities"):
+            ZeroShotWhatIfEstimator(target_db, actual)
+
+    def test_advisor_accepts_estimator_and_service(self, target_db,
+                                                   whatif_model):
+        from repro.models import ZeroShotEstimator
+        estimator = ZeroShotEstimator.from_model(
+            whatif_model, CardinalitySource.ESTIMATED)
+        queries = [parse_query(t) for t in WORKLOAD]
+        plain = IndexAdvisor(target_db, whatif_model) \
+            .recommend(queries, max_indexes=2)
+        served = IndexAdvisor(target_db, estimator, service=True) \
+            .recommend(queries, max_indexes=2)
+        assert plain.indexes == served.indexes
+        assert plain.predicted_seconds == served.predicted_seconds
+
+
 class TestAdvisor:
     def test_candidates_cover_predicates_and_joins(self, target_db,
                                                    whatif_model):
