@@ -13,6 +13,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-cache = repro.experiments.cache:main",
+            "repro-cardinality = repro.experiments.cardinality_exp:main",
             "repro-figure3 = repro.experiments.figure3:main",
             "repro-table1 = repro.experiments.table1:main",
             "repro-learning-curve = repro.experiments.learning_curve:main",

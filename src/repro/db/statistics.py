@@ -7,6 +7,15 @@ estimation consumes exactly these — so its estimates deviate from the
 truth in the same ways Postgres' do (independence and uniformity
 assumptions), which matters for the "Zero-Shot (Estimated Cardinalities)"
 rows of the paper's evaluation.
+
+These statistics feed the learned stack twice: as the classical
+estimates in the transferable plan encoding (column features, the
+``plan_op`` cardinality feature), and as the *residual baseline* of the
+zero-shot cardinality head — the head predicts the correction over the
+histogram estimate, so exactly the independence-assumption drift
+described above is what it learns to undo (see
+:mod:`repro.models.cardinality` and
+:mod:`repro.optimizer.learned_cardinality`).
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@
 * :mod:`~repro.experiments.cache` — persistent artifact store: contexts
   round-trip to disk keyed by a content hash of the scale, so the
   one-time effort is skipped on re-runs (CLI: ``repro-cache``).
+* :mod:`~repro.experiments.cardinality_exp` — estimated vs. learned
+  cardinalities (per-operator Q-error + plan-quality deltas when each
+  source drives the DP enumerator).
 * :mod:`~repro.experiments.figure3` — Figure 3 (all four panels).
 * :mod:`~repro.experiments.table1` — Table 1 (incl. the Index row).
 * :mod:`~repro.experiments.learning_curve` — §3.2's "stagnates after 19
@@ -21,6 +24,10 @@ from repro.experiments.setup import (
     ExperimentContext,
     ExperimentScale,
     build_context,
+)
+from repro.experiments.cardinality_exp import (
+    CardinalityResult,
+    run_cardinality,
 )
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.fewshot_exp import FewShotResult, run_fewshot
@@ -41,6 +48,7 @@ def __getattr__(name):
 
 __all__ = [
     "ArtifactStore",
+    "CardinalityResult",
     "ExperimentContext",
     "ExperimentScale",
     "FewShotResult",
@@ -48,6 +56,7 @@ __all__ = [
     "LearningCurveResult",
     "Table1Result",
     "build_context",
+    "run_cardinality",
     "run_fewshot",
     "run_figure3",
     "run_learning_curve",

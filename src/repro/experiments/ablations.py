@@ -19,21 +19,19 @@ import numpy as np
 
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
 from repro.featurize.graph import (
-    _OPERATOR_KINDS,
+    CARDINALITY_FEATURE_INDEX,
     CardinalitySource,
     PlanGraph,
 )
 from repro.models import (
     FlatVectorCostModel,
     ZeroShotEstimator,
+    clamp_predictions,
     q_error_stats,
 )
 from repro.models.metrics import QErrorStats
 
 __all__ = ["AblationResult", "run_ablations"]
-
-_CARDINALITY_FEATURE = len(_OPERATOR_KINDS) + 1  # index of log(rows)
-
 
 @dataclass
 class AblationResult:
@@ -51,7 +49,7 @@ def _strip_cardinalities(graphs: list[PlanGraph]) -> list[PlanGraph]:
     for graph in graphs:
         clone = copy.deepcopy(graph)
         for row in clone.features["plan_op"]:
-            row[_CARDINALITY_FEATURE] = 0.0
+            row[CARDINALITY_FEATURE_INDEX] = 0.0
         stripped.append(clone)
     return stripped
 
@@ -81,20 +79,22 @@ def run_ablations(scale: ExperimentScale | None = None,
     # Full model (graph + message passing + cardinalities), over the
     # already-featurized evaluation graphs.
     result.variants["graph (full model)"] = q_error_stats(
-        full.model.predict_runtime(evaluation_graphs), truths)
+        clamp_predictions(full.model.predict_runtime(evaluation_graphs)),
+        truths)
 
     # Estimated-cardinality variant (the deployable configuration) —
     # featurized separately: its cardinality features differ.
     estimated = context.estimator(CardinalitySource.ESTIMATED)
     estimated_graphs = estimated.featurize(evaluation_plans, context.imdb)
     result.variants["graph (estimated cardinalities)"] = q_error_stats(
-        estimated.model.predict_runtime(estimated_graphs), truths)
+        clamp_predictions(
+            estimated.model.predict_runtime(estimated_graphs)), truths)
 
     # Flat featurization: same features, structure pooled away.
     flat = FlatVectorCostModel(seed=context.scale.seed)
     flat.fit(train_graphs, context.scale.zero_shot_trainer)
     result.variants["flat (no message passing)"] = q_error_stats(
-        flat.predict_runtime(evaluation_graphs), truths)
+        clamp_predictions(flat.predict_runtime(evaluation_graphs)), truths)
 
     # No cardinality features: the model must guess selectivities.
     no_card = ZeroShotEstimator(config=context.scale.zero_shot_config,
@@ -102,8 +102,8 @@ def run_ablations(scale: ExperimentScale | None = None,
     no_card.fit_graphs(_strip_cardinalities(train_graphs),
                        context.scale.zero_shot_trainer)
     result.variants["graph (no cardinality features)"] = q_error_stats(
-        no_card.model.predict_runtime(
-            _strip_cardinalities(evaluation_graphs)),
+        clamp_predictions(no_card.model.predict_runtime(
+            _strip_cardinalities(evaluation_graphs))),
         truths)
 
     return result

@@ -62,6 +62,7 @@ from repro.featurize.graph import CardinalitySource
 from repro.models import ZeroShotCostModel
 from repro.workload.backends import CorpusShard, ShardExecution
 from repro.workload.corpus import TrainingCorpus
+from repro.workload.runner import RECORD_SCHEMA_VERSION
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with setup.py
     from repro.experiments.setup import ExperimentContext, ExperimentScale
@@ -72,7 +73,10 @@ __all__ = ["ArtifactStore", "cache_enabled", "context_key", "main",
 #: Bump when the on-disk layout or any pickled type changes shape; old
 #: entries are simply never matched again (and ``--clear`` removes them).
 #: v2: sharded corpus directories + per-shard artifacts.
-CACHE_FORMAT_VERSION = "v2"
+#: v3: executed records carry per-operator cardinality labels
+#: (:data:`repro.workload.runner.RECORD_SCHEMA_VERSION` 2) — contexts
+#: and shards pickled from v1-schema records must never be reused.
+CACHE_FORMAT_VERSION = "v3"
 
 _COMPLETE_MARKER = "COMPLETE"
 _SHARDS_DIR_NAME = "shards"
@@ -119,11 +123,19 @@ def shard_key(shard: CorpusShard) -> str:
     dataclass of plain values — database spec, workload spec, index and
     runner seeds, random-index count, noise sigma and system parameters
     — so its ``asdict`` form is everything that determines the shard's
-    records.  Deliberately *not* keyed: fleet size and backend choice,
-    which do not change the records.
+    records.  The :data:`~repro.workload.runner.RECORD_SCHEMA_VERSION`
+    is folded in as well: a schema bump (e.g. the per-operator
+    cardinality labels) changes every key, so shards pickled from
+    older record schemas are re-executed instead of silently reused.
+    Deliberately *not* keyed: fleet size and backend choice, which do
+    not change the records.
     """
+    payload = {
+        "record_schema": RECORD_SCHEMA_VERSION,
+        "shard": asdict(shard),
+    }
     digest = hashlib.sha256(
-        json.dumps(asdict(shard), sort_keys=True, default=str).encode()
+        json.dumps(payload, sort_keys=True, default=str).encode()
     ).hexdigest()
     return f"shard-{digest[:16]}"
 

@@ -13,7 +13,12 @@ from dataclasses import dataclass, field
 from repro.errors import ExperimentError
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
 from repro.featurize.graph import CardinalitySource
-from repro.models import TrainerConfig, get_estimator, q_error_stats
+from repro.models import (
+    TrainerConfig,
+    clamp_predictions,
+    get_estimator,
+    q_error_stats,
+)
 
 __all__ = ["FewShotResult", "run_fewshot"]
 
@@ -50,7 +55,8 @@ def run_fewshot(scale: ExperimentScale | None = None,
 
     result = FewShotResult(budgets=budgets)
     result.zero_shot_median = q_error_stats(
-        base.predict_runtime(evaluation_plans, context.imdb), truths
+        clamp_predictions(base.predict_runtime(evaluation_plans,
+                                               context.imdb)), truths
     ).median
 
     for budget in budgets:
@@ -63,7 +69,8 @@ def run_fewshot(scale: ExperimentScale | None = None,
             early_stopping_patience=25, seed=context.scale.seed,
         ))
         result.fewshot_medians.append(q_error_stats(
-            tuned.predict_runtime(evaluation_plans, context.imdb), truths
+            clamp_predictions(tuned.predict_runtime(evaluation_plans,
+                                                    context.imdb)), truths
         ).median)
 
         # From scratch: E2E on the same queries (its adapter prices
@@ -71,7 +78,8 @@ def run_fewshot(scale: ExperimentScale | None = None,
         e2e = get_estimator("e2e").fit(support, context.imdb,
                                        context.scale.baseline_trainer)
         result.from_scratch_medians.append(q_error_stats(
-            e2e.predict_runtime(evaluation_plans, context.imdb), truths
+            clamp_predictions(e2e.predict_runtime(evaluation_plans,
+                                                  context.imdb)), truths
         ).median)
     return result
 

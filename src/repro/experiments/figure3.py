@@ -19,7 +19,12 @@ from dataclasses import dataclass, field
 from repro.errors import ExperimentError
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
 from repro.featurize.graph import CardinalitySource
-from repro.models import CostEstimator, get_estimator, q_error_stats
+from repro.models import (
+    CostEstimator,
+    clamp_predictions,
+    get_estimator,
+    q_error_stats,
+)
 from repro.models.metrics import QErrorStats
 from repro.workload import BENCHMARK_NAMES, WorkloadRunner
 
@@ -57,8 +62,8 @@ def evaluate_zero_shot(context: ExperimentContext, benchmark: str,
                        source: CardinalitySource) -> QErrorStats:
     records = context.evaluation_records[benchmark]
     estimator = context.estimator(source)
-    predictions = estimator.predict_runtime([r.plan for r in records],
-                                            context.imdb)
+    predictions = clamp_predictions(
+        estimator.predict_runtime([r.plan for r in records], context.imdb))
     return q_error_stats(predictions, context.evaluation_truths(benchmark))
 
 
@@ -134,7 +139,8 @@ def run_figure3(scale: ExperimentScale | None = None,
             plans = [r.plan for r in context.evaluation_records[benchmark]]
             truths = context.evaluation_truths(benchmark)
             for name, estimator in baselines.items():
-                predictions = estimator.predict_runtime(plans, context.imdb)
+                predictions = clamp_predictions(
+                    estimator.predict_runtime(plans, context.imdb))
                 stats = q_error_stats(predictions, truths)
                 result.baseline_series[benchmark][name].append(stats.median)
     return result

@@ -27,7 +27,7 @@ import numpy as np
 from repro.errors import ExperimentError
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
 from repro.featurize.graph import CardinalitySource
-from repro.models import ZeroShotEstimator, q_error_stats
+from repro.models import ZeroShotEstimator, clamp_predictions, q_error_stats
 
 __all__ = ["LearningCurveResult", "run_learning_curve"]
 
@@ -93,7 +93,8 @@ def run_learning_curve(scale: ExperimentScale | None = None,
         estimator.fit_graphs(context.corpus.featurize(source, names[:count]),
                              context.scale.zero_shot_trainer)
         stats = q_error_stats(
-            estimator.model.predict_runtime(evaluation_graphs), truths)
+            clamp_predictions(
+                estimator.model.predict_runtime(evaluation_graphs)), truths)
         result.database_counts.append(count)
         result.median_q_errors.append(stats.median)
     return result

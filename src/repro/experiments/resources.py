@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
 from repro.featurize.graph import CardinalitySource
-from repro.models import ZeroShotEstimator, q_error_stats
+from repro.models import ZeroShotEstimator, clamp_predictions, q_error_stats
 from repro.models.metrics import QErrorStats
 
 __all__ = ["ResourceResult", "run_resources"]
@@ -71,7 +71,8 @@ def run_resources(scale: ExperimentScale | None = None,
             estimator.fit_graphs(
                 context.corpus.featurize(source, target=target),
                 context.scale.zero_shot_trainer)
-        predictions = estimator.model.predict_runtime(evaluation_graphs)
+        predictions = clamp_predictions(
+            estimator.model.predict_runtime(evaluation_graphs))
         truths = _evaluation_labels(context, target)
         result.stats[target] = q_error_stats(predictions, truths)
     return result

@@ -21,7 +21,7 @@ from repro.errors import ExperimentError
 from repro.experiments.figure3 import evaluate_zero_shot
 from repro.experiments.setup import ExperimentContext, ExperimentScale, build_context
 from repro.featurize.graph import CardinalitySource
-from repro.models import q_error_stats
+from repro.models import clamp_predictions, q_error_stats
 from repro.models.metrics import QErrorStats
 from repro.workload import WorkloadRunner, make_benchmark_workload
 
@@ -114,8 +114,8 @@ def run_table1(scale: ExperimentScale | None = None,
     result.rows["Index"] = {}
     for source in (CardinalitySource.ACTUAL, CardinalitySource.ESTIMATED):
         encoded = [sample[source] for sample, _ in index_evaluation]
-        predictions = np.exp(
-            context.estimator(source).predict_encoded(encoded))
+        predictions = clamp_predictions(np.exp(
+            context.estimator(source).predict_encoded(encoded)))
         result.rows["Index"][source] = q_error_stats(predictions, truths)
     return result
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import FeaturizationError
 from repro.featurize.graph import (
+    CARDINALITY_FEATURE_INDEX,
     FEATURE_DIMS,
     NODE_TYPES,
     TYPE_CODE_OF,
@@ -81,6 +82,18 @@ class GraphBatch:
     roots: np.ndarray
     targets: np.ndarray | None = None
     graph_sizes: list[int] = field(default_factory=list)
+    #: Per-operator log1p cardinality labels, aligned row-for-row with
+    #: ``features["plan_op"]`` / ``type_positions["plan_op"]`` (None when
+    #: the graphs carry no cardinality labels).
+    card_targets: np.ndarray | None = None
+    #: Number of ``plan_op`` rows contributed by each graph (prefix-sums
+    #: split per-node predictions back into per-plan arrays).
+    plan_op_counts: list[int] = field(default_factory=list)
+    #: Raw ``log1p(rows)`` feature per ``plan_op`` row (residual base).
+    plan_op_log_rows: np.ndarray = field(
+        default_factory=lambda: np.zeros(0))
+    #: Raw row estimates per ``plan_op`` row (linear-space base).
+    plan_op_rows: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
     @property
     def num_graphs(self) -> int:
@@ -110,6 +123,15 @@ class EncodedGraph:
     edges_parent: np.ndarray
     root: int
     target_log_runtime: float | None
+    #: Per-``plan_op`` log1p cardinality labels (None if unlabelled).
+    target_log_cardinalities: np.ndarray | None = None
+    #: Raw (unscaled) ``log1p(rows)`` feature per ``plan_op`` node — the
+    #: baseline the residual cardinality head corrects.
+    plan_op_log_rows: np.ndarray = field(
+        default_factory=lambda: np.zeros(0))
+    #: Raw row estimates per ``plan_op`` node (linear space): a zero
+    #: correction returns these bit-for-bit.
+    plan_op_rows: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
 
 def fit_scalers(graphs: list[PlanGraph]) -> dict[str, StandardScaler]:
@@ -139,8 +161,17 @@ def encode_graph(graph: PlanGraph,
     type_codes = graph.type_codes()
     features: dict[str, np.ndarray] = {}
     type_positions: dict[str, np.ndarray] = {}
+    plan_op_log_rows = np.zeros(0)
+    plan_op_rows = np.zeros(0)
     for node_type in NODE_TYPES:
         matrix = graph.feature_matrix(node_type)
+        if node_type == "plan_op":
+            plan_op_log_rows = matrix[:, CARDINALITY_FEATURE_INDEX].copy()
+            if len(graph.plan_op_rows) == len(matrix):
+                plan_op_rows = np.asarray(graph.plan_op_rows,
+                                          dtype=np.float64)
+            else:  # hand-built graphs: recover rows from the log feature
+                plan_op_rows = np.expm1(plan_op_log_rows)
         if scalers is not None and len(matrix):
             matrix = scalers[node_type].transform(matrix)
         features[node_type] = matrix
@@ -163,6 +194,9 @@ def encode_graph(graph: PlanGraph,
         edges_parent=edges_parent,
         root=graph.root,
         target_log_runtime=graph.target_log_runtime,
+        target_log_cardinalities=graph.target_log_cardinalities,
+        plan_op_log_rows=plan_op_log_rows,
+        plan_op_rows=plan_op_rows,
     )
 
 
@@ -189,6 +223,20 @@ def _merge_targets(encoded: list[EncodedGraph],
             f"label all graphs (training) or none (inference)"
         )
     return np.asarray(labels)
+
+
+def _merge_card_targets(encoded: list[EncodedGraph]) -> np.ndarray | None:
+    """Concatenated per-operator cardinality labels (all-or-none)."""
+    labels = [g.target_log_cardinalities for g in encoded]
+    missing = sum(label is None for label in labels)
+    if missing == len(labels):
+        return None
+    if missing:
+        raise FeaturizationError(
+            f"{missing} of {len(labels)} graphs are missing cardinality "
+            f"labels; label all graphs (training) or none (inference)"
+        )
+    return np.concatenate(labels)
 
 
 def merge_encoded(encoded: list[EncodedGraph],
@@ -284,6 +332,11 @@ def merge_encoded(encoded: list[EncodedGraph],
         roots=roots,
         targets=targets,
         graph_sizes=[g.num_nodes for g in encoded],
+        card_targets=_merge_card_targets(encoded),
+        plan_op_counts=[len(g.features["plan_op"]) for g in encoded],
+        plan_op_log_rows=np.concatenate([g.plan_op_log_rows
+                                         for g in encoded]),
+        plan_op_rows=np.concatenate([g.plan_op_rows for g in encoded]),
     )
 
 

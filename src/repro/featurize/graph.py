@@ -25,6 +25,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -46,8 +47,9 @@ from repro.plans.operators import (
 from repro.plans.plan import PhysicalPlan
 from repro.sql.ast import AggregateFunction, ColumnRef, ComparisonOperator
 
-__all__ = ["CardinalitySource", "PlanGraph", "ZeroShotFeaturizer",
-           "NODE_TYPES", "FEATURE_DIMS", "TYPE_CODE_OF"]
+__all__ = ["CARDINALITY_FEATURE_INDEX", "CardinalitySource", "PlanGraph",
+           "ZeroShotFeaturizer", "NODE_TYPES", "FEATURE_DIMS",
+           "TYPE_CODE_OF"]
 
 
 class CardinalitySource(enum.Enum):
@@ -87,6 +89,12 @@ FEATURE_DIMS = {
     "index": 3,
 }
 
+#: Column of the ``plan_op`` feature vector holding ``log1p(rows)`` —
+#: the cardinality head predicts a *correction* relative to this value
+#: (residual learning over the optimizer's estimate), and the ablations
+#: zero it out to measure its contribution.
+CARDINALITY_FEATURE_INDEX = len(_OPERATOR_KINDS) + 1
+
 
 def _log(value: float) -> float:
     return math.log1p(max(float(value), 0.0))
@@ -103,6 +111,14 @@ class PlanGraph:
     edges: list[tuple[int, int]] = field(default_factory=list)
     root: int = -1
     target_log_runtime: float | None = None
+    #: Per-operator log1p cardinality labels, one per ``plan_op`` node in
+    #: insertion (plan pre-)order — supervision for the multi-task
+    #: cardinality head; ``None`` for runtime-only graphs.
+    target_log_cardinalities: np.ndarray | None = None
+    #: Raw per-operator row estimates (same order) — kept alongside the
+    #: log feature so a zero residual correction reproduces the
+    #: optimizer's estimate bit-for-bit instead of via exp(log(x)).
+    plan_op_rows: list[float] = field(default_factory=list)
 
     @property
     def num_nodes(self) -> int:
@@ -169,8 +185,17 @@ class ZeroShotFeaturizer:
 
     # ------------------------------------------------------------------
     def featurize(self, plan: PhysicalPlan, database: Database,
-                  target_runtime_seconds: float | None = None) -> PlanGraph:
-        """Encode a plan (optionally with its runtime label)."""
+                  target_runtime_seconds: float | None = None,
+                  operator_cardinalities: "Sequence[float] | None" = None
+                  ) -> PlanGraph:
+        """Encode a plan (optionally with runtime / cardinality labels).
+
+        ``operator_cardinalities`` are the true output cardinalities of
+        every plan operator in pre-order (what
+        :class:`~repro.workload.runner.WorkloadRunner` records as
+        ``operator_cardinalities``); they become per-``plan_op``-node
+        log1p labels for the cardinality head.
+        """
         if database.name != plan.database_name:
             raise FeaturizationError(
                 f"plan was built for {plan.database_name!r}, "
@@ -186,6 +211,21 @@ class ZeroShotFeaturizer:
                     f"runtime label must be positive, got {target_runtime_seconds}"
                 )
             graph.target_log_runtime = math.log(target_runtime_seconds)
+        if operator_cardinalities is not None:
+            cards = np.asarray(operator_cardinalities, dtype=np.float64)
+            num_ops = len(graph.features["plan_op"])
+            if cards.shape != (num_ops,):
+                raise FeaturizationError(
+                    f"plan has {num_ops} operators but "
+                    f"{cards.size} cardinality labels were given"
+                )
+            if (cards < 0).any():
+                raise FeaturizationError(
+                    "operator cardinalities must be non-negative"
+                )
+            # plan_op nodes are added in the same pre-order the executor
+            # (and walk_plan) traverse, so labels align row-for-row.
+            graph.target_log_cardinalities = np.log1p(cards)
         return graph
 
     # ------------------------------------------------------------------
@@ -204,6 +244,7 @@ class ZeroShotFeaturizer:
         features[len(_OPERATOR_KINDS) + 1] = _log(self._rows(node))
         features[len(_OPERATOR_KINDS) + 2] = _log(node.est_width)
         op_id = graph.add_node("plan_op", features)
+        graph.plan_op_rows.append(max(float(self._rows(node)), 0.0))
 
         for child in node.children:
             child_id = self._encode_operator(child, plan, database, graph,

@@ -11,6 +11,9 @@
   rescaling of the classical optimizer cost.
 * :mod:`~repro.models.fewshot` — fine-tuning a zero-shot model on a few
   queries of the unseen database.
+* :mod:`~repro.models.cardinality` — the second zero-shot task:
+  per-operator cardinality estimation via a residual readout head
+  trained multi-task with the runtime head.
 
 All of them are reachable through the **unified estimator API**
 (:mod:`repro.models.api`): ``get_estimator(name)`` returns a
@@ -28,6 +31,7 @@ from repro.models.api import (
     register_estimator,
     resolve_plans,
 )
+from repro.models.cardinality import ZeroShotCardinalityEstimator
 from repro.models.e2e import E2ECostModel
 from repro.models.estimators import (
     E2EEstimator,
@@ -38,7 +42,13 @@ from repro.models.estimators import (
 )
 from repro.models.fewshot import fine_tune
 from repro.models.flat import FlatVectorCostModel
-from repro.models.metrics import QErrorStats, q_error, q_error_stats
+from repro.models.metrics import (
+    PREDICTION_EPSILON,
+    QErrorStats,
+    clamp_predictions,
+    q_error,
+    q_error_stats,
+)
 from repro.models.mscn import MSCNCostModel
 from repro.models.optimizer_cost import ScaledOptimizerCost
 from repro.models.trainer import TrainerConfig, TrainingHistory
@@ -52,15 +62,18 @@ __all__ = [
     "FlatVectorEstimator",
     "MSCNCostModel",
     "MSCNEstimator",
+    "PREDICTION_EPSILON",
     "QErrorStats",
     "ScaledOptimizerCost",
     "ScaledOptimizerCostEstimator",
     "TrainerConfig",
     "TrainingHistory",
+    "ZeroShotCardinalityEstimator",
     "ZeroShotConfig",
     "ZeroShotCostModel",
     "ZeroShotEstimator",
     "available_estimators",
+    "clamp_predictions",
     "fine_tune",
     "get_estimator",
     "load_estimator",

@@ -1,0 +1,165 @@
+"""Zero-shot cardinality estimation behind the unified estimator API.
+
+The paper names cardinality estimation as the natural next task for the
+transferable graph representation ("beyond cost estimation"): the same
+plan encoding that predicts runtimes can predict *per-operator output
+cardinalities*, trained once across the fleet and applied zero-shot to
+unseen databases.
+
+:class:`ZeroShotCardinalityEstimator` is that second task head.  It is
+a full :class:`~repro.models.api.CostEstimator` — the underlying
+network is trained **multi-task** (runtime + per-operator
+log-cardinality losses share the message-passing trunk), so
+``predict_runtime`` works exactly like the plain ``zero-shot``
+estimator — plus the cardinality surface:
+
+* :meth:`ZeroShotCardinalityEstimator.predict_cardinalities` — one
+  array of predicted operator output rows per plan, in plan pre-order;
+* :meth:`ZeroShotCardinalityEstimator.predict_cardinalities_encoded` —
+  the batched encoded-path twin that
+  :meth:`repro.serve.CostModelService.predict_cardinalities` serves
+  through.
+
+Training features use the optimizer's *estimated* cardinalities (the
+deployable configuration — actual cardinalities do not exist for a plan
+that has not run), so the head effectively learns to correct the
+histogram heuristics' independence-assumption drift.  The supervision
+is each record's
+:attr:`~repro.workload.runner.ExecutedQueryRecord.operator_cardinalities`.
+
+The optimizer-side consumer is
+:class:`~repro.optimizer.learned_cardinality.LearnedCardinalityEstimator`,
+which injects these predictions into the DP join enumerator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import ModelError
+from repro.featurize.graph import CardinalitySource
+from repro.models.api import register_estimator, resolve_plans
+from repro.models.estimators import ZeroShotEstimator
+from repro.models.trainer import TrainerConfig
+from repro.models.zero_shot import ZeroShotConfig, ZeroShotCostModel
+from repro.plans.plan import PhysicalPlan, walk_plan
+from repro.sql.ast import Query
+from repro.workload.runner import ExecutedQueryRecord
+
+__all__ = ["ZeroShotCardinalityEstimator", "record_cardinalities"]
+
+
+def record_cardinalities(record: ExecutedQueryRecord) -> tuple[float, ...]:
+    """Per-operator true cardinalities of a record, in plan pre-order.
+
+    Prefers the record's explicit ``operator_cardinalities`` schema
+    field; records built by hand around an executed plan fall back to
+    the executor's ``actual_rows`` annotations.
+    """
+    if record.operator_cardinalities:
+        return record.operator_cardinalities
+    cards = [node.actual_rows for node in walk_plan(record.plan.root)]
+    if any(c is None for c in cards):
+        raise ModelError(
+            f"record on {record.database_name!r} has neither "
+            f"operator_cardinalities nor an executed plan; cardinality "
+            f"training needs per-operator labels"
+        )
+    return tuple(float(c) for c in cards)
+
+
+class ZeroShotCardinalityEstimator(ZeroShotEstimator):
+    """The zero-shot *cardinality* head behind the unified contract.
+
+    Same transferable featurization and registry surface as the
+    ``zero-shot`` runtime estimator; the wrapped model carries the
+    per-operator cardinality readout
+    (``ZeroShotConfig(cardinality_head=True)``) and is trained
+    multi-task on runtime *and* log-cardinality targets.
+    """
+
+    name = "zero-shot-cardinality"
+
+    def __init__(self, config: ZeroShotConfig | None = None,
+                 source: CardinalitySource = CardinalitySource.ESTIMATED,
+                 model: ZeroShotCostModel | None = None):
+        if model is None:
+            config = config or ZeroShotConfig(cardinality_head=True)
+            if not config.cardinality_head:
+                raise ModelError(
+                    f"{self.name} needs "
+                    f"ZeroShotConfig(cardinality_head=True)"
+                )
+        elif not model.config.cardinality_head:
+            raise ModelError(
+                f"{self.name} wraps a model without a cardinality head"
+            )
+        super().__init__(config=config, source=source, model=model)
+
+    # -- training ------------------------------------------------------
+    def fit(self, records, databases, trainer: TrainerConfig | None = None
+            ) -> "ZeroShotCardinalityEstimator":
+        from repro.models.api import _database_map
+        mapping = _database_map(records, databases, self.name)
+        graphs = [
+            self.featurizer.featurize(
+                r.plan, mapping[r.database_name], r.runtime_seconds,
+                operator_cardinalities=record_cardinalities(r),
+            )
+            for r in records
+        ]
+        self.model.fit(graphs, trainer)
+        return self
+
+    def fine_tune(self, records, database: Database,
+                  trainer: TrainerConfig | None = None
+                  ) -> "ZeroShotCardinalityEstimator":
+        """Few-shot adaptation, multi-task: the tuned copy's trunk is
+        updated under the same joint runtime + cardinality loss as
+        ``fit``, so both readouts stay calibrated (a runtime-only
+        update would silently decalibrate ``predict_cardinalities``)."""
+        from repro.models.fewshot import fine_tune
+        graphs = [
+            self.featurizer.featurize(
+                r.plan, database, r.runtime_seconds,
+                operator_cardinalities=record_cardinalities(r),
+            )
+            for r in records
+        ]
+        return type(self)(model=fine_tune(self.model, graphs, trainer),
+                          source=self.source)
+
+    # -- cardinality surface -------------------------------------------
+    def predict_cardinalities_encoded(self, encoded: Sequence[Any]
+                                      ) -> list[np.ndarray]:
+        """Predicted operator output rows for pre-encoded plans.
+
+        The batched twin of :meth:`predict_cardinalities`, consuming
+        the same :meth:`encode_plans` precompute the serving layer
+        caches.
+        """
+        return self.model.predict_cardinalities_from_encoded(list(encoded))
+
+    def predict_cardinalities(self,
+                              plans: Sequence["PhysicalPlan | Query | str"],
+                              database: Database | None = None
+                              ) -> list[np.ndarray]:
+        """Per-plan arrays of predicted operator output cardinalities.
+
+        Each array aligns with the plan's operators in pre-order (the
+        order :func:`repro.plans.plan.walk_plan` yields); entry 0 is
+        the plan root.
+        """
+        self._require_fitted()
+        resolved = resolve_plans(plans, database)
+        if not resolved:
+            return []
+        return self.predict_cardinalities_encoded(
+            self.encode_plans(resolved, database))
+
+
+register_estimator(ZeroShotCardinalityEstimator.name,
+                   ZeroShotCardinalityEstimator, default=True)

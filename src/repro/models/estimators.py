@@ -139,12 +139,17 @@ class ZeroShotEstimator(CostEstimator):
                   trainer: TrainerConfig | None = None
                   ) -> "ZeroShotEstimator":
         """Few-shot adaptation: a fine-tuned *copy* on the target
-        database's executed records (see :func:`repro.models.fine_tune`)."""
+        database's executed records (see :func:`repro.models.fine_tune`).
+
+        Returns an instance of the *caller's* class, so subclasses (the
+        cardinality head) keep their full surface and save under their
+        own manifest name.
+        """
         from repro.models.fewshot import fine_tune
         graphs = self.featurize([r.plan for r in records], database,
                                 [r.runtime_seconds for r in records])
-        return ZeroShotEstimator(model=fine_tune(self.model, graphs, trainer),
-                                 source=self.source)
+        return type(self)(model=fine_tune(self.model, graphs, trainer),
+                          source=self.source)
 
     def encode_plans(self, plans, database) -> list[Any]:
         self._require_fitted()

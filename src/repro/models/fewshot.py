@@ -31,6 +31,14 @@ def fine_tune(model: ZeroShotCostModel, graphs: list[PlanGraph],
         raise ModelError("fine_tune needs at least one labelled graph")
     if any(g.target_log_runtime is None for g in graphs):
         raise ModelError("all fine-tuning graphs need runtime labels")
+    if model.config.cardinality_head and \
+            any(g.target_log_cardinalities is None for g in graphs):
+        raise ModelError(
+            "fine-tuning a cardinality-head model needs per-operator "
+            "cardinality labels on every graph — a runtime-only update "
+            "would silently decalibrate the shared trunk against the "
+            "frozen cardinality readout"
+        )
 
     tuned = model.clone()
     trainer = trainer or TrainerConfig(
@@ -44,11 +52,18 @@ def fine_tune(model: ZeroShotCostModel, graphs: list[PlanGraph],
     # merge cheaply per mini-batch (see repro.featurize.batch).
     encoded = encode_graphs(graphs, tuned.scalers)
 
-    def forward(batch: GraphBatch) -> Tensor:
-        return tuned.net(batch)
+    if tuned.config.cardinality_head:
+        # Multi-task models fine-tune multi-task: the same joint loss as
+        # fit (with the *existing* calibration), so the trunk keeps
+        # serving both readouts.
+        forward, targets = tuned.multi_task_closures()
+    else:
+        def forward(batch: GraphBatch) -> Tensor:
+            return tuned.net(batch)
 
-    def targets(batch: GraphBatch) -> Tensor:
-        return Tensor((batch.targets - tuned.target_mean) / tuned.target_std)
+        def targets(batch: GraphBatch) -> Tensor:
+            return Tensor((batch.targets - tuned.target_mean)
+                          / tuned.target_std)
 
     tuned.history = train_model(
         tuned.net, encoded, forward, targets, trainer,

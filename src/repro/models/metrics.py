@@ -13,7 +13,29 @@ import numpy as np
 
 from repro.errors import ModelError
 
-__all__ = ["q_error", "q_error_stats", "QErrorStats"]
+__all__ = ["PREDICTION_EPSILON", "clamp_predictions", "q_error",
+           "q_error_stats", "QErrorStats"]
+
+#: Lower bound experiment drivers clamp model predictions to before
+#: computing Q-errors.  Predictions are produced as ``exp(log_pred)``,
+#: which underflows to exactly ``0.0`` once ``log_pred`` drops below
+#: ~-745 — and :func:`q_error` (correctly) rejects non-positive inputs.
+#: An epsilon far below any simulated runtime keeps such underflows
+#: reported as the astronomically bad predictions they are, instead of
+#: crashing a long experiment run at the metric boundary.
+PREDICTION_EPSILON = 1e-12
+
+
+def clamp_predictions(predicted: np.ndarray,
+                      epsilon: float = PREDICTION_EPSILON) -> np.ndarray:
+    """Clamp predictions into ``[epsilon, inf)`` (and drop NaNs to
+    ``epsilon``) — the documented boundary between model outputs and
+    :func:`q_error`.  Ground-truth runtimes are never clamped: a
+    non-positive *truth* is a data bug that must still raise."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    return np.maximum(np.nan_to_num(predicted, nan=epsilon,
+                                    posinf=np.inf, neginf=epsilon),
+                      epsilon)
 
 
 def q_error(predicted: np.ndarray, actual: np.ndarray) -> np.ndarray:

@@ -31,7 +31,12 @@ from repro.featurize.batch import (
     fit_scalers,
     merge_encoded,
 )
-from repro.featurize.graph import FEATURE_DIMS, NODE_TYPES, PlanGraph
+from repro.featurize.graph import (
+    CARDINALITY_FEATURE_INDEX,
+    FEATURE_DIMS,
+    NODE_TYPES,
+    PlanGraph,
+)
 from repro.featurize.scalers import StandardScaler
 from repro.nn import MLP, Module, Tensor, no_grad
 from repro.nn.serialize import load_state, save_state
@@ -51,10 +56,33 @@ class ZeroShotConfig:
     dropout: float = 0.0
     activation: str = "leaky_relu"
     seed: int = 0
+    #: Attach the per-operator cardinality readout head and train it
+    #: jointly with the runtime head (multi-task).  Off by default: the
+    #: plain runtime model (and every model saved before this flag
+    #: existed) is bit-identical with the flag off.
+    cardinality_head: bool = False
+    #: Relative weight of each per-operator cardinality term against
+    #: each runtime term in the multi-task loss.  Applied to both the
+    #: prediction and the target before the trainer's loss, so it is
+    #: exact for the default absolute-log (``"q"``) loss; under
+    #: ``"mse"`` the effective relative weight is its square.
+    cardinality_loss_weight: float = 1.0
+    #: Dead-zone (log space) of the residual cardinality head: predicted
+    #: corrections smaller than this are snapped to zero, so the model
+    #: only overrides the optimizer's estimate when the predicted drift
+    #: is material — the same philosophy as the plan selector's
+    #: ``switch_margin`` (prediction noise must not perturb estimates
+    #: the heuristics already get right).
+    cardinality_correction_margin: float = 0.1
 
     def __post_init__(self):
         if self.hidden_dim <= 0:
             raise ModelError("hidden_dim must be positive")
+        if self.cardinality_loss_weight <= 0:
+            raise ModelError("cardinality_loss_weight must be positive")
+        if self.cardinality_correction_margin < 0:
+            raise ModelError(
+                "cardinality_correction_margin must be non-negative")
 
 
 class ZeroShotNet(Module):
@@ -80,9 +108,17 @@ class ZeroShotNet(Module):
         self.readout = MLP(config.hidden_dim, list(config.readout_hidden), 1,
                            rng, activation=config.activation,
                            dropout=config.dropout)
+        if config.cardinality_head:
+            # Per-node readout over plan_op hidden states.  Created after
+            # the runtime readout so models with the flag off consume the
+            # exact same rng stream as before the head existed.
+            self.card_readout = MLP(
+                config.hidden_dim, list(config.readout_hidden), 1, rng,
+                activation=config.activation, dropout=config.dropout,
+            )
 
-    def forward(self, batch: GraphBatch) -> Tensor:
-        """Predicted log-runtimes, one per graph in the batch."""
+    def hidden_states(self, batch: GraphBatch) -> Tensor:
+        """Final hidden state of every node after bottom-up passing."""
         hidden_dim = self.config.hidden_dim
 
         # 1. Initial hidden states, scattered into one [N, hidden] matrix.
@@ -117,10 +153,30 @@ class ZeroShotNet(Module):
             delta = combined - parent_hidden
             hidden = hidden + delta.scatter_add(level.parent_ids,
                                                 batch.num_nodes)
+        return hidden
 
-        # 3. Readout from the root nodes.
-        roots = hidden.index_select(batch.roots)
+    def forward(self, batch: GraphBatch) -> Tensor:
+        """Predicted log-runtimes, one per graph in the batch."""
+        roots = self.hidden_states(batch).index_select(batch.roots)
         return self.readout(roots).reshape(-1)
+
+    def forward_with_cardinalities(self, batch: GraphBatch
+                                   ) -> tuple[Tensor, Tensor]:
+        """(log-runtimes per graph, log-cardinalities per plan operator).
+
+        One message-passing pass feeds both readouts; the cardinality
+        vector aligns row-for-row with ``batch.features["plan_op"]``.
+        """
+        if not self.config.cardinality_head:
+            raise ModelError(
+                "this network was built without a cardinality head "
+                "(ZeroShotConfig(cardinality_head=True))"
+            )
+        hidden = self.hidden_states(batch)
+        runtime = self.readout(hidden.index_select(batch.roots)).reshape(-1)
+        ops = hidden.index_select(batch.type_positions["plan_op"])
+        cardinalities = self.card_readout(ops).reshape(-1)
+        return runtime, cardinalities
 
 
 class ZeroShotCostModel:
@@ -140,6 +196,12 @@ class ZeroShotCostModel:
         #: statistics are shipped with the model.
         self.target_mean: float = 0.0
         self.target_std: float = 1.0
+        #: Standardization of the per-operator log-cardinality *residual*
+        #: targets — the head predicts the correction
+        #: ``log1p(actual) - log1p(estimate)`` over the optimizer's
+        #: estimate (only meaningful with ``config.cardinality_head``).
+        self.card_mean: float = 0.0
+        self.card_std: float = 1.0
 
     # ------------------------------------------------------------------
     @property
@@ -165,11 +227,29 @@ class ZeroShotCostModel:
             raise ModelError("zero-shot training needs at least one graph")
         if any(g.target_log_runtime is None for g in graphs):
             raise ModelError("all training graphs need runtime labels")
+        # Validate BEFORE mutating state: a rejected multi-task fit must
+        # not leave the model half-fitted (scalers set => is_fitted).
+        if self.config.cardinality_head:
+            if not prebuild:
+                raise ModelError(
+                    "cardinality-head training requires the prebuilt "
+                    "featurization path (fit(prebuild=True))"
+                )
+            if any(g.target_log_cardinalities is None for g in graphs):
+                raise ModelError(
+                    "cardinality-head training needs per-operator "
+                    "cardinality labels on every graph (featurize with "
+                    "operator cardinalities / corpus.featurize("
+                    "with_cardinalities=True))"
+                )
         self.scalers = fit_scalers(graphs)
         trainer = trainer or TrainerConfig()
         all_targets = np.asarray([g.target_log_runtime for g in graphs])
         self.target_mean = float(all_targets.mean())
         self.target_std = float(max(all_targets.std(), 1e-6))
+
+        if self.config.cardinality_head:
+            return self._fit_multi_task(graphs, trainer)
 
         if prebuild:
             encoded = encode_graphs(graphs, self.scalers)
@@ -198,6 +278,67 @@ class ZeroShotCostModel:
 
             self.history = train_model(self.net, graphs, forward, targets,
                                        trainer)
+        return self.history
+
+    def multi_task_closures(self):
+        """``(forward, targets)`` closures of the joint loss, using the
+        model's *current* calibration (target/card statistics).
+
+        Shared by :meth:`fit` and few-shot fine-tuning
+        (:func:`repro.models.fewshot.fine_tune`), so the two training
+        paths can never drift apart.  Both closures scale the
+        cardinality terms by ``config.cardinality_loss_weight`` — the
+        weighting is exact for the default absolute-log (``"q"``) loss;
+        under ``"mse"`` the effective relative weight is its square.
+        """
+        self._require_cardinality_head()
+        weight = self.config.cardinality_loss_weight
+
+        def forward(batch: GraphBatch) -> Tensor:
+            runtime, cards = self.net.forward_with_cardinalities(batch)
+            return Tensor.concat([runtime, cards * weight])
+
+        def targets(batch: GraphBatch) -> Tensor:
+            runtime = (batch.targets - self.target_mean) / self.target_std
+            deltas = batch.card_targets - batch.plan_op_log_rows
+            cards = weight * ((deltas - self.card_mean) / self.card_std)
+            return Tensor(np.concatenate([runtime, cards]))
+
+        return forward, targets
+
+    def _fit_multi_task(self, graphs: list[PlanGraph],
+                        trainer: TrainerConfig) -> TrainingHistory:
+        """Joint runtime + per-operator log-cardinality training.
+
+        Both heads share the message-passing trunk; the loss is the
+        trainer's log-space loss over the concatenation of per-graph
+        runtime terms and per-operator cardinality terms, the latter
+        scaled by ``config.cardinality_loss_weight``.
+
+        The cardinality head is **residual**: its target is the log-space
+        correction ``log1p(actual) - log1p(estimate)`` over the
+        optimizer's own estimate (already a plan_op feature).  Where the
+        histogram heuristics are exact the correction is zero, so the
+        head spends its capacity exactly where the paper says the
+        heuristics drift — on correlated data.
+
+        Inputs were validated by :meth:`fit` (card labels present,
+        prebuild path) before any state mutation.
+        """
+        all_deltas = np.concatenate([
+            g.target_log_cardinalities -
+            g.feature_matrix("plan_op")[:, CARDINALITY_FEATURE_INDEX]
+            for g in graphs
+        ])
+        self.card_mean = float(all_deltas.mean())
+        self.card_std = float(max(all_deltas.std(), 1e-6))
+        encoded = encode_graphs(graphs, self.scalers)
+        forward, targets = self.multi_task_closures()
+
+        self.history = train_model(
+            self.net, encoded, forward, targets, trainer,
+            collate=lambda items: merge_encoded(items, require_targets=True),
+        )
         return self.history
 
     def predict_log_runtime(self, graphs: list[PlanGraph]) -> np.ndarray:
@@ -233,12 +374,103 @@ class ZeroShotCostModel:
         return np.exp(self.predict_log_runtime(graphs))
 
     # ------------------------------------------------------------------
+    # Cardinality head
+    # ------------------------------------------------------------------
+    def _require_cardinality_head(self) -> None:
+        if not self.config.cardinality_head:
+            raise ModelError(
+                "this model has no cardinality head; build it with "
+                "ZeroShotConfig(cardinality_head=True)"
+            )
+
+    def _require_cardinality_predict(self) -> None:
+        self._require_cardinality_head()
+        if not self.is_fitted:
+            raise ModelError("model must be fitted (or loaded) before predict")
+
+    def _predicted_deltas(self, encoded: list[EncodedGraph]
+                          ) -> tuple[GraphBatch, np.ndarray]:
+        """Shared forward pass of the residual head: the merged batch
+        plus the de-normalized, dead-zone-snapped per-operator
+        corrections (every prediction surface derives from these)."""
+        self.net.eval()
+        with no_grad():
+            batch = merge_encoded(encoded)
+            _, cards = self.net.forward_with_cardinalities(batch)
+            normalized = cards.numpy().copy()
+        deltas = normalized * self.card_std + self.card_mean
+        margin = self.config.cardinality_correction_margin
+        if margin > 0:
+            deltas = np.where(np.abs(deltas) < margin, 0.0, deltas)
+        return batch, deltas
+
+    @staticmethod
+    def _split_per_plan(values: np.ndarray,
+                        batch: GraphBatch) -> list[np.ndarray]:
+        offsets = np.cumsum([0] + batch.plan_op_counts)
+        return [values[start:stop]
+                for start, stop in zip(offsets[:-1], offsets[1:])]
+
+    def predict_log_cardinalities_from_encoded(
+            self, encoded: list[EncodedGraph]) -> list[np.ndarray]:
+        """Per-plan arrays of predicted log1p operator cardinalities.
+
+        Each array aligns with the plan's operators in pre-order (the
+        order :func:`repro.plans.plan.walk_plan` yields).  The head's
+        output is a residual correction; the returned values are the
+        corrected absolute log-cardinalities (estimate + correction).
+        """
+        self._require_cardinality_predict()
+        if not encoded:
+            return []
+        batch, deltas = self._predicted_deltas(encoded)
+        return self._split_per_plan(batch.plan_op_log_rows + deltas, batch)
+
+    def predict_log_cardinalities(self, graphs: list[PlanGraph]
+                                  ) -> list[np.ndarray]:
+        self._require_cardinality_predict()
+        if not graphs:
+            return []
+        return self.predict_log_cardinalities_from_encoded(
+            encode_graphs(graphs, self.scalers))
+
+    def predict_cardinalities_from_encoded(self, encoded: list[EncodedGraph]
+                                           ) -> list[np.ndarray]:
+        """Predicted per-operator output cardinalities (rows, >= 0).
+
+        Zero residual corrections (inside the dead-zone) return the
+        optimizer's row estimate *bit-for-bit*; material corrections go
+        through log space.
+        """
+        self._require_cardinality_predict()
+        if not encoded:
+            return []
+        batch, deltas = self._predicted_deltas(encoded)
+        rows = np.where(
+            deltas == 0.0,
+            batch.plan_op_rows,
+            np.expm1(batch.plan_op_log_rows + deltas),
+        )
+        return self._split_per_plan(np.maximum(rows, 0.0), batch)
+
+    def predict_cardinalities(self, graphs: list[PlanGraph]
+                              ) -> list[np.ndarray]:
+        """Predicted per-operator output cardinalities (rows, >= 0)."""
+        self._require_cardinality_predict()
+        if not graphs:
+            return []
+        return self.predict_cardinalities_from_encoded(
+            encode_graphs(graphs, self.scalers))
+
+    # ------------------------------------------------------------------
     def clone(self) -> "ZeroShotCostModel":
         """Deep copy (used by few-shot fine-tuning)."""
         other = ZeroShotCostModel(self.config)
         other.net.load_state_dict(self.net.state_dict())
         other.target_mean = self.target_mean
         other.target_std = self.target_std
+        other.card_mean = self.card_mean
+        other.card_std = self.card_std
         if self.scalers is not None:
             other.scalers = {
                 t: StandardScaler.from_dict(s.to_dict())
@@ -258,6 +490,8 @@ class ZeroShotCostModel:
             "scalers": {t: s.to_dict() for t, s in self.scalers.items()},
             "target_mean": self.target_mean,
             "target_std": self.target_std,
+            "card_mean": self.card_mean,
+            "card_std": self.card_std,
         }
         with open(os.path.join(directory, "model.json"), "w") as handle:
             json.dump(payload, handle)
@@ -277,4 +511,6 @@ class ZeroShotCostModel:
         }
         model.target_mean = float(payload.get("target_mean", 0.0))
         model.target_std = float(payload.get("target_std", 1.0))
+        model.card_mean = float(payload.get("card_mean", 0.0))
+        model.card_std = float(payload.get("card_std", 1.0))
         return model

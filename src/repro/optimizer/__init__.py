@@ -10,11 +10,14 @@ Provides the three things the paper's pipeline takes from Postgres:
   regresses onto runtimes.
 
 What-if planning with hypothetical indexes (Section 4.1) lives in
-:mod:`repro.optimizer.whatif`.
+:mod:`repro.optimizer.whatif`; learned cardinality injection (the
+zero-shot cardinality head driving the same DP search) in
+:mod:`repro.optimizer.learned_cardinality`.
 """
 
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.learned_cardinality import LearnedCardinalityEstimator
 from repro.optimizer.planner import Planner, plan_query
 from repro.optimizer.selectivity import estimate_predicate_selectivity
 from repro.optimizer.whatif import WhatIfPlanner
@@ -23,6 +26,7 @@ __all__ = [
     "CardinalityEstimator",
     "CostModel",
     "CostParameters",
+    "LearnedCardinalityEstimator",
     "Planner",
     "WhatIfPlanner",
     "estimate_predicate_selectivity",

@@ -77,7 +77,11 @@ class CardinalityEstimator:
         if missing:
             raise OptimizerError(f"unknown aliases in join set: {sorted(missing)}")
         rows = 1.0
-        for alias in aliases:
+        # Sorted: float multiplication is rounding-order sensitive, and
+        # set iteration order varies with the process hash seed — the
+        # product must be bit-identical across processes (shard-cached
+        # corpora, golden encodings).
+        for alias in sorted(aliases):
             rows *= self.scan_rows(query, alias)
         for join in query.joins:
             if join.left.table in aliases and join.right.table in aliases:

@@ -1,0 +1,263 @@
+"""Learned cardinalities injected into the classical plan search.
+
+The paper argues the optimizer's histogram heuristics drift on
+correlated data (independence assumptions), and names cardinality
+estimation as the next zero-shot task.  This module closes the loop:
+:class:`LearnedCardinalityEstimator` is a **drop-in** for
+:class:`~repro.optimizer.cardinality.CardinalityEstimator` — the DP
+join enumerator, the planner and
+:class:`~repro.optimizer.learned_planner.ZeroShotPlanSelector` consume
+it through the exact same ``scan_rows`` / ``joined_rows`` surface, so
+two estimators that return the same numbers produce identical plans.
+
+On the first fragment request for a query, the estimator **primes** its
+per-query cache in one batched model call:
+
+1. every connected fragment of the query's join graph (the exact set
+   the DP enumerator will price) is rendered as a **canonical fragment
+   plan** — per-alias scans joined by a deterministic left-deep
+   hash-join chain, annotated with the classical heuristic estimates
+   (the same transferable features the cardinality head was trained
+   on);
+2. one batched prediction prices all fragment roots at once (batch
+   inference is bit-identical to per-plan calls, so the batching is
+   purely a latency win — O(2^k) single-graph forwards collapse into
+   one);
+3. any fragment that cannot be priced (featurization gaps, model
+   errors) and any request outside the primed set (e.g. a
+   disconnected alias pair) falls back to the classical heuristic —
+   uncovered fragments never break planning.
+
+Predictions and fallbacks are counted (``learned_fragments`` /
+``fallback_fragments``) so experiments can report coverage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.db.database import Database
+from repro.errors import (
+    FeaturizationError,
+    ModelError,
+    OptimizerError,
+    PlanError,
+    QueryError,
+)
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.plans.operators import HashBuild, HashJoin, PlanNode, SeqScan
+from repro.plans.plan import PhysicalPlan
+from repro.sql.ast import Query, TableRef
+
+__all__ = ["LearnedCardinalityEstimator"]
+
+#: Exceptions that route a fragment to the heuristic fallback.
+_FALLBACK_ERRORS = (FeaturizationError, ModelError, OptimizerError,
+                    PlanError, QueryError)
+
+
+class LearnedCardinalityEstimator(CardinalityEstimator):
+    """Cardinalities from a zero-shot cardinality head, with fallback.
+
+    Parameters
+    ----------
+    database:
+        The database plans are being built for.
+    model:
+        A fitted cardinality predictor: a
+        :class:`~repro.models.cardinality.ZeroShotCardinalityEstimator`
+        (anything exposing ``predict_cardinalities(plans, database)``),
+        or a raw :class:`~repro.models.zero_shot.ZeroShotCostModel`
+        built with a cardinality head.
+    fallback_only:
+        Force every fragment onto the classical heuristic (useful to
+        verify plan-identity: with fallback the planner's output is
+        bit-identical to the classical planner's).
+    cached_queries:
+        LRU bound on the number of *queries* whose fragment estimates
+        are cached (each query's DP search prices O(2^k) fragments; a
+        long-lived estimator behind a workload runner must not grow
+        without bound).  Evicting a query drops all its fragments and
+        releases the query object.
+    """
+
+    def __init__(self, database: Database, model,
+                 fallback_only: bool = False,
+                 cached_queries: int = 256):
+        super().__init__(database)
+        self.model = model
+        self.fallback_only = fallback_only
+        if cached_queries < 1:
+            raise ModelError("cached_queries must be positive")
+        self.cached_queries = cached_queries
+        #: A plain heuristic estimator for fallbacks and fragment-plan
+        #: annotations.  Composition, not ``super()``: the heuristic's
+        #: ``joined_rows`` internally calls ``scan_rows``, and dynamic
+        #: dispatch would route that back into the learned override —
+        #: fallback estimates must be purely heuristic.
+        self._heuristic = CardinalityEstimator(database)
+        self._predict = self._resolve_predictor(model)
+        #: Fragments priced by the model / by the heuristic fallback.
+        self.learned_fragments = 0
+        self.fallback_fragments = 0
+        #: Per-query fragment caches, LRU over queries.  Keys are
+        #: ``id(query)``, unambiguous because the entry also pins the
+        #: query object itself (its ``id`` cannot be recycled while
+        #: cached); eviction releases fragments and pin together.
+        self._cache: OrderedDict[
+            int, tuple[Query, dict[frozenset[str], float]]] = OrderedDict()
+
+    @staticmethod
+    def _resolve_predictor(model):
+        """Normalize the model to ``plans, database -> [cards...]``."""
+        predictor = getattr(model, "predict_cardinalities", None)
+        if predictor is None:
+            raise ModelError(
+                "LearnedCardinalityEstimator needs a model with "
+                "predict_cardinalities (a cardinality-head estimator or "
+                "core model)"
+            )
+        if hasattr(model, "predict_cardinalities_encoded"):
+            return predictor  # estimator surface: (plans, database)
+
+        def core_model(plans, database):
+            # Raw ZeroShotCostModel: featurize here, estimated source
+            # (fragments are never executed).
+            from repro.featurize.graph import (
+                CardinalitySource,
+                ZeroShotFeaturizer,
+            )
+            featurizer = ZeroShotFeaturizer(CardinalitySource.ESTIMATED)
+            graphs = [featurizer.featurize(plan, database) for plan in plans]
+            return model.predict_cardinalities(graphs)
+
+        return core_model
+
+    # ------------------------------------------------------------------
+    # The drop-in surface the planner reads
+    # ------------------------------------------------------------------
+    def scan_rows(self, query: Query, alias: str) -> float:
+        return self._fragment_rows(query, frozenset({alias}))
+
+    def joined_rows(self, query: Query, aliases: frozenset[str]) -> float:
+        missing = aliases - set(query.table_names)
+        if missing:
+            raise OptimizerError(
+                f"unknown aliases in join set: {sorted(missing)}"
+            )
+        return self._fragment_rows(query, frozenset(aliases))
+
+    # ------------------------------------------------------------------
+    def _heuristic_rows(self, query: Query, aliases: frozenset[str]) -> float:
+        if len(aliases) == 1:
+            return self._heuristic.scan_rows(query, next(iter(aliases)))
+        return self._heuristic.joined_rows(query, aliases)
+
+    def _fragment_rows(self, query: Query, aliases: frozenset[str]) -> float:
+        entry = self._cache.get(id(query))
+        if entry is None:
+            entry = (query, {})
+            self._cache[id(query)] = entry
+            while len(self._cache) > self.cached_queries:
+                self._cache.popitem(last=False)
+            if not self.fallback_only:
+                self._prime_query(query, entry[1])
+        else:
+            self._cache.move_to_end(id(query))
+        cached = entry[1].get(aliases)
+        if cached is not None:
+            return cached
+        # Outside the primed set (disconnected pair, failed fragment,
+        # fallback-only mode): classical heuristic, cached per fragment.
+        rows = self._heuristic_rows(query, aliases)
+        self.fallback_fragments += 1
+        entry[1][aliases] = rows
+        return rows
+
+    def _prime_query(self, query: Query,
+                     fragments: dict[frozenset[str], float]) -> None:
+        """Price every connected fragment of ``query`` in ONE batched
+        model call (the DP enumerator will request exactly these).
+
+        The workload space caps join width at a handful of tables, so
+        the connected-subset enumeration is tiny; batching collapses
+        what would be O(2^k) single-graph forward passes into one.
+        """
+        from repro.optimizer.join_order import connected_subsets
+
+        plans: list[PhysicalPlan] = []
+        keys: list[frozenset[str]] = []
+        for aliases in connected_subsets(query):
+            try:
+                plans.append(self._fragment_plan(query, aliases))
+                keys.append(aliases)
+            except _FALLBACK_ERRORS:
+                continue  # this fragment will be priced heuristically
+        if not plans:
+            return
+        try:
+            predictions = self._predict(plans, self.database)
+        except _FALLBACK_ERRORS:
+            return
+        for aliases, cards in zip(keys, predictions):
+            # Pre-order: entry 0 is the fragment root.
+            fragments[aliases] = max(float(cards[0]), 1.0)
+            self.learned_fragments += 1
+
+    # ------------------------------------------------------------------
+    # Canonical fragment plans
+    # ------------------------------------------------------------------
+    def _scan_node(self, query: Query, alias: str) -> PlanNode:
+        table_name = query.table_ref(alias).table_name
+        node = SeqScan(
+            table=TableRef(table_name,
+                           alias if alias != table_name else None),
+            filters=query.predicates_on(alias),
+        )
+        node.est_rows = self._heuristic.scan_rows(query, alias)
+        node.est_width = float(
+            self.database.schema.table(table_name).tuple_width_bytes)
+        return node
+
+    def _fragment_plan(self, query: Query,
+                       aliases: frozenset[str]) -> PhysicalPlan:
+        """Deterministic left-deep hash-join plan over ``aliases``.
+
+        The shape is canonical (sorted aliases, greedy connection), so
+        a fragment's learned cardinality does not depend on which join
+        order the enumerator happens to probe.  Heuristic row estimates
+        annotate every node — exactly the ESTIMATED-source features the
+        head was trained to correct.
+        """
+        order = sorted(aliases)
+        current = self._scan_node(query, order[0])
+        joined: set[str] = {order[0]}
+        remaining = [alias for alias in order[1:]]
+        while remaining:
+            next_alias = None
+            condition = None
+            for alias in remaining:
+                joins = query.joins_between(frozenset(joined),
+                                            frozenset({alias}))
+                if joins:
+                    next_alias = alias
+                    condition = joins[0]
+                    break
+            if next_alias is None:
+                raise OptimizerError(
+                    f"fragment {sorted(aliases)} is not connected"
+                )
+            remaining.remove(next_alias)
+            build_input = self._scan_node(query, next_alias)
+            build = HashBuild(key=condition.side_for(next_alias),
+                              children=[build_input])
+            build.est_rows = build_input.est_rows
+            build.est_width = build_input.est_width
+            node = HashJoin(condition=condition, children=[current, build])
+            joined.add(next_alias)
+            node.est_rows = self._heuristic.joined_rows(query,
+                                                        frozenset(joined))
+            node.est_width = current.est_width + build_input.est_width
+            current = node
+        return PhysicalPlan(root=current, query=query,
+                            database_name=self.database.name)

@@ -43,7 +43,8 @@ _HINT_SETS: tuple[dict, ...] = (
 
 def candidate_plans(database: Database, query: Query,
                     base_options: PlannerOptions | None = None,
-                    max_cost_ratio: float = 3.0) -> list[PhysicalPlan]:
+                    max_cost_ratio: float = 3.0,
+                    cardinality_estimator=None) -> list[PhysicalPlan]:
     """Generate a de-duplicated portfolio of candidate plans.
 
     Candidates whose classical cost exceeds ``max_cost_ratio`` times the
@@ -51,6 +52,11 @@ def candidate_plans(database: Database, query: Query,
     on executed (i.e. optimizer-chosen) plans and cannot be trusted to
     price plan families it has never observed — the same guardrail Bao's
     hint sets rely on.
+
+    ``cardinality_estimator`` (e.g. a
+    :class:`~repro.optimizer.learned_cardinality.LearnedCardinalityEstimator`)
+    replaces the classical histogram estimates inside every hint-set
+    planning run.
     """
     base = base_options or PlannerOptions()
     plans: list[PhysicalPlan] = []
@@ -68,7 +74,9 @@ def candidate_plans(database: Database, query: Query,
             cost_parameters=base.cost_parameters,
         )
         try:
-            plan = Planner(database, options).plan(query)
+            plan = Planner(database, options,
+                           cardinality_estimator=cardinality_estimator
+                           ).plan(query)
         except OptimizerError:
             continue  # this hint set admits no plan (e.g. scans disabled)
         signature = _plan_signature(plan)
@@ -121,7 +129,8 @@ class ZeroShotPlanSelector:
                  model: "CostEstimator | ZeroShotCostModel",
                  options: PlannerOptions | None = None,
                  switch_margin: float = 0.3,
-                 service: bool = False):
+                 service: bool = False,
+                 cardinality_estimator=None):
         if isinstance(model, CostEstimator):
             self.estimator = model
         else:
@@ -133,6 +142,10 @@ class ZeroShotPlanSelector:
             raise ModelError("switch_margin must be in [0, 1)")
         self.database = database
         self.options = options or PlannerOptions()
+        #: Optional learned cardinality injection: every candidate plan
+        #: is searched under these estimates instead of the histogram
+        #: heuristics (see repro.optimizer.learned_cardinality).
+        self.cardinality_estimator = cardinality_estimator
         #: Only deviate from the classical plan when the predicted win
         #: exceeds this relative margin — prediction error within the
         #: margin should not flip plans.
@@ -149,7 +162,9 @@ class ZeroShotPlanSelector:
 
     def choose(self, query: Query) -> PlanChoice:
         """Return the plan the zero-shot model prefers for ``query``."""
-        candidates = candidate_plans(self.database, query, self.options)
+        candidates = candidate_plans(
+            self.database, query, self.options,
+            cardinality_estimator=self.cardinality_estimator)
         if self._service is not None:
             predictions = self._service.predict_runtime(candidates)
         else:

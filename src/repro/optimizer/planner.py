@@ -72,10 +72,17 @@ class Planner:
     """Plans queries for one database."""
 
     def __init__(self, database: Database,
-                 options: PlannerOptions | None = None):
+                 options: PlannerOptions | None = None,
+                 cardinality_estimator: CardinalityEstimator | None = None):
         self.database = database
         self.options = options or PlannerOptions()
-        self.estimator = CardinalityEstimator(database)
+        #: The injectable cardinality source the whole plan search reads
+        #: through — the classical histogram estimator by default, or a
+        #: :class:`~repro.optimizer.learned_cardinality.\
+        #: LearnedCardinalityEstimator` drop-in.  Two estimators that
+        #: return the same numbers yield identical plans.
+        self.estimator = cardinality_estimator or \
+            CardinalityEstimator(database)
         self.cost_model = CostModel(database, self.options.cost_parameters)
 
     # ------------------------------------------------------------------
@@ -358,6 +365,9 @@ class Planner:
 
 
 def plan_query(database: Database, query: Query,
-               options: PlannerOptions | None = None) -> PhysicalPlan:
+               options: PlannerOptions | None = None,
+               cardinality_estimator: CardinalityEstimator | None = None
+               ) -> PhysicalPlan:
     """Convenience wrapper: ``Planner(database, options).plan(query)``."""
-    return Planner(database, options).plan(query)
+    return Planner(database, options,
+                   cardinality_estimator=cardinality_estimator).plan(query)

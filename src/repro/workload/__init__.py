@@ -35,12 +35,17 @@ from repro.workload.corpus import (
     collect_training_corpus_from_specs,
 )
 from repro.workload.generator import WorkloadSpec, generate_workload
-from repro.workload.runner import ExecutedQueryRecord, WorkloadRunner
+from repro.workload.runner import (
+    RECORD_SCHEMA_VERSION,
+    ExecutedQueryRecord,
+    WorkloadRunner,
+)
 
 __all__ = [
     "BENCHMARK_NAMES",
     "CorpusShard",
     "ExecutedQueryRecord",
+    "RECORD_SCHEMA_VERSION",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",

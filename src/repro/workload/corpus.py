@@ -52,7 +52,10 @@ __all__ = [
 ]
 
 #: Bump when the on-disk corpus layout changes shape.
-_CORPUS_FORMAT = 2
+#: v3: records carry per-operator ``operator_cardinalities`` labels
+#: (see :data:`repro.workload.runner.RECORD_SCHEMA_VERSION`); older
+#: corpora lack them and must be re-collected, not silently loaded.
+_CORPUS_FORMAT = 3
 _MANIFEST_NAME = "manifest.json"
 _SHARDS_DIR = "shards"
 
@@ -79,7 +82,8 @@ class TrainingCorpus:
 
     def featurize(self, source: CardinalitySource,
                   database_names: list[str] | None = None,
-                  target: str = "runtime") -> list[PlanGraph]:
+                  target: str = "runtime",
+                  with_cardinalities: bool = False) -> list[PlanGraph]:
         """Labelled plan graphs for training a zero-shot model.
 
         ``database_names`` restricts the corpus (used by the
@@ -87,6 +91,11 @@ class TrainingCorpus:
         ``"runtime"`` (seconds), or the §4.3 resource-prediction targets
         ``"memory"`` (peak working-memory bytes) and ``"io"`` (pages
         read) — the same transferable encoding serves all of them.
+
+        ``with_cardinalities=True`` additionally attaches each record's
+        per-operator :attr:`~repro.workload.runner.ExecutedQueryRecord.\
+operator_cardinalities` as per-node labels, the supervision of the
+        multi-task cardinality head.
         """
         if target not in ("runtime", "memory", "io"):
             raise WorkloadError(
@@ -106,8 +115,18 @@ class TrainingCorpus:
                     label = record.memory_peak_bytes + 1.0
                 else:
                     label = record.io_pages + 1.0
+                cardinalities = None
+                if with_cardinalities:
+                    cardinalities = record.operator_cardinalities
+                    if not cardinalities:
+                        raise WorkloadError(
+                            f"record on {name!r} has no operator "
+                            f"cardinalities; the corpus predates record "
+                            f"schema v2 — re-collect it"
+                        )
                 graphs.append(featurizer.featurize(
-                    record.plan, database, label
+                    record.plan, database, label,
+                    operator_cardinalities=cardinalities,
                 ))
         return graphs
 

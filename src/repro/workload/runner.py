@@ -25,11 +25,18 @@ from repro.db.database import Database
 from repro.engine import BuildSideCache, Executor
 from repro.errors import WorkloadError
 from repro.optimizer.planner import Planner, PlannerOptions
-from repro.plans.plan import PhysicalPlan
+from repro.plans.plan import PhysicalPlan, walk_plan
 from repro.runtime import RuntimeSimulator, SystemParameters
 from repro.sql.ast import Query
 
-__all__ = ["ExecutedQueryRecord", "WorkloadRunner"]
+__all__ = ["RECORD_SCHEMA_VERSION", "ExecutedQueryRecord", "WorkloadRunner"]
+
+#: Version of the :class:`ExecutedQueryRecord` schema.  Bump whenever a
+#: field is added/changed so persisted artifacts (corpus shards, cached
+#: experiment contexts) built from older records are never silently
+#: reused — the shard cache folds this into its content keys.
+#: v2: per-operator ``operator_cardinalities`` labels.
+RECORD_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -42,6 +49,12 @@ class ExecutedQueryRecord:
     database_name: str
     memory_peak_bytes: float = 0.0
     io_pages: float = 0.0
+    #: True output cardinality of every plan operator, in the pre-order
+    #: of :func:`repro.plans.plan.walk_plan` — the per-node labels the
+    #: zero-shot cardinality head trains on.  Recorded explicitly (not
+    #: just as executor annotations on the plan) so the corpus schema
+    #: survives ``plan.reset_actuals()`` and stays self-describing.
+    operator_cardinalities: tuple[float, ...] = ()
 
     @property
     def optimizer_cost(self) -> float:
@@ -61,9 +74,16 @@ class WorkloadRunner:
     reuse_build_side: bool = True
     #: LRU capacity of the shared build-side cache.
     build_cache_entries: int = 64
+    #: Cardinality source the planner optimizes with — ``None`` uses the
+    #: classical histogram heuristics, a
+    #: :class:`~repro.optimizer.learned_cardinality.LearnedCardinalityEstimator`
+    #: plans with model-predicted cardinalities (the injection path the
+    #: cardinality experiment's plan-quality comparison measures).
+    cardinality_estimator: object | None = None
 
     def __post_init__(self):
-        self._planner = Planner(self.database, self.planner_options)
+        self._planner = Planner(self.database, self.planner_options,
+                                cardinality_estimator=self.cardinality_estimator)
         self._build_cache = (BuildSideCache(self.build_cache_entries)
                              if self.reuse_build_side else None)
         self._executor = Executor(self.database,
@@ -90,6 +110,9 @@ class WorkloadRunner:
             database_name=self.database.name,
             memory_peak_bytes=runtime.memory_peak_bytes,
             io_pages=runtime.io_pages,
+            operator_cardinalities=tuple(
+                float(node.actual_rows) for node in walk_plan(plan.root)
+            ),
         )
 
     def run(self, queries: list[Query]) -> list[ExecutedQueryRecord]:

@@ -219,6 +219,22 @@ class TestShardStore:
                                               num_queries=3))
         assert shard_key(base) != shard_key(fewer)
 
+    def test_key_covers_the_record_schema(self, tiny_shards, monkeypatch):
+        """A record-schema bump (e.g. the per-operator cardinality
+        labels) must re-key every shard, so artifacts pickled from the
+        old schema are re-executed instead of silently reused."""
+        import repro.experiments.cache as cache_module
+        base = tiny_shards[0]
+        current = shard_key(base)
+        monkeypatch.setattr(cache_module, "RECORD_SCHEMA_VERSION", 1)
+        assert shard_key(base) != current
+
+    def test_cache_format_bumped_for_record_schema_v2(self):
+        """v2-era entries (records without cardinality labels) must
+        never be matched by the current store layout."""
+        from repro.experiments.cache import CACHE_FORMAT_VERSION
+        assert CACHE_FORMAT_VERSION not in ("v1", "v2")
+
     def test_racing_writers_do_not_corrupt(self, tmp_path, tiny_shards,
                                            executed):
         """Two writers on the same shard key: the loser's staging copy

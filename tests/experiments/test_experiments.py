@@ -12,6 +12,7 @@ from repro.errors import ExperimentError
 from repro.experiments import (
     ExperimentScale,
     build_context,
+    run_cardinality,
     run_fewshot,
     run_figure3,
     run_learning_curve,
@@ -200,6 +201,50 @@ class TestResources:
         for stats in result.stats.values():
             assert stats.median >= 1.0
         assert "Resource prediction" in format_resources(result)
+
+
+class TestCardinality:
+    @pytest.fixture(scope="class")
+    def result(self, quick_context):
+        return run_cardinality(context=quick_context)
+
+    def test_learned_no_worse_than_heuristic_on_held_out(self, result):
+        """The acceptance gate: on the held-out correlated IMDB data the
+        learned head's median per-operator Q-error must not exceed the
+        classical heuristics' (and the residual design keeps its tail
+        tighter too)."""
+        assert result.learned.median <= result.heuristic.median
+        assert result.learned.percentile95 <= \
+            result.heuristic.percentile95 * 1.1
+
+    def test_all_series_present(self, result):
+        for benchmark in BENCHMARK_NAMES:
+            entries = result.per_benchmark[benchmark]
+            for name in ("heuristic", "learned"):
+                assert entries[name].median >= 1.0
+        for stats in (result.heuristic, result.learned,
+                      result.heuristic_all, result.learned_all):
+            assert 1.0 <= stats.median <= stats.percentile95 <= stats.maximum
+
+    def test_plan_quality_reported(self, result, quick_context):
+        quality = result.plan_quality
+        expected = len(BENCHMARK_NAMES) * \
+            quick_context.scale.evaluation_queries
+        assert quality.queries == expected
+        assert 0 <= quality.changed_plans <= quality.queries
+        assert quality.heuristic_seconds > 0
+        assert quality.learned_seconds > 0
+        assert np.isfinite(quality.runtime_ratio)
+        # The enumerator actually consulted the model.
+        assert quality.learned_fragments > 0
+        assert quality.fallback_fragments == 0
+
+    def test_report_renders(self, result):
+        from repro.experiments.cardinality_exp import format_cardinality
+        text = format_cardinality(result)
+        assert "per-operator Q-error" in text
+        assert "heuristic" in text and "learned" in text
+        assert "Plan quality" in text
 
 
 class TestAblations:

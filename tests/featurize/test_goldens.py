@@ -1,0 +1,117 @@
+"""Golden-snapshot regression tests for the zero-shot graph encoding.
+
+The node/edge feature matrices of a fixed seed plan set are frozen on
+disk (``tests/featurize/goldens/*.npz``).  Any change to the
+featurization — new features, reordered one-hots, different scaling of
+raw inputs — silently shifts every model's inputs; these tests make
+such shifts fail loudly instead.
+
+If an encoding change is *intentional*, regenerate the snapshots and
+commit them together with the change::
+
+    PYTHONPATH=src python tests/featurize/test_goldens.py --regen
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.db import make_imdb_database
+from repro.engine import execute_plan
+from repro.featurize.graph import (
+    NODE_TYPES,
+    CardinalitySource,
+    ZeroShotFeaturizer,
+)
+from repro.optimizer import plan_query
+from repro.workload import make_benchmark_workload
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+SOURCES = {
+    "estimated": CardinalitySource.ESTIMATED,
+    "actual": CardinalitySource.ACTUAL,
+}
+
+REGEN_HINT = (
+    "graph encoding changed; if intentional, regenerate the snapshots "
+    "with `PYTHONPATH=src python tests/featurize/test_goldens.py --regen` "
+    "and commit them with the encoding change"
+)
+
+
+def _seed_plan_graphs(source: CardinalitySource):
+    """The frozen plan set: fully deterministic in its seeds."""
+    database = make_imdb_database(scale=0.04, seed=7)
+    queries = (make_benchmark_workload(database, "scale", 4, seed=13) +
+               make_benchmark_workload(database, "job-light", 4, seed=13))
+    featurizer = ZeroShotFeaturizer(source)
+    graphs = []
+    for query in queries:
+        plan = plan_query(database, query)
+        execute_plan(database, plan)  # ACTUAL source needs annotations
+        graphs.append(featurizer.featurize(plan, database))
+    return graphs
+
+
+def _flatten(graphs) -> dict[str, np.ndarray]:
+    arrays: dict[str, np.ndarray] = {}
+    for index, graph in enumerate(graphs):
+        prefix = f"q{index}"
+        arrays[f"{prefix}/type_codes"] = graph.type_codes()
+        arrays[f"{prefix}/edges"] = np.asarray(
+            graph.edges, dtype=np.int64).reshape(-1, 2)
+        arrays[f"{prefix}/root"] = np.asarray([graph.root], dtype=np.int64)
+        arrays[f"{prefix}/plan_op_rows"] = np.asarray(graph.plan_op_rows)
+        for node_type in NODE_TYPES:
+            arrays[f"{prefix}/features/{node_type}"] = \
+                graph.feature_matrix(node_type)
+    return arrays
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"seed-plans-{name}.npz"
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, source in SOURCES.items():
+        arrays = _flatten(_seed_plan_graphs(source))
+        np.savez_compressed(_golden_path(name), **arrays)
+        print(f"wrote {_golden_path(name)} ({len(arrays)} arrays)")
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_encoding_matches_golden_snapshot(name):
+    path = _golden_path(name)
+    assert path.is_file(), f"golden snapshot {path} is missing; {REGEN_HINT}"
+    golden = np.load(path)
+    fresh = _flatten(_seed_plan_graphs(SOURCES[name]))
+    assert set(golden.files) == set(fresh), \
+        f"golden key set differs ({name}); {REGEN_HINT}"
+    for key in golden.files:
+        np.testing.assert_array_equal(
+            fresh[key], golden[key],
+            err_msg=f"{name}:{key} drifted from the golden snapshot; "
+                    f"{REGEN_HINT}",
+        )
+
+
+def test_goldens_are_nontrivial():
+    """Guard against freezing an empty or degenerate plan set."""
+    golden = np.load(_golden_path("estimated"))
+    plan_ops = [k for k in golden.files if k.endswith("/features/plan_op")]
+    assert len(plan_ops) == 8
+    assert all(golden[k].shape[0] >= 2 for k in plan_ops)
+    # Join coverage: at least one plan has 5+ operators.
+    assert any(golden[k].shape[0] >= 5 for k in plan_ops)
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(1)

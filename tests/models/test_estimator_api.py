@@ -24,7 +24,8 @@ from repro.models.api import reset_estimators
 from repro.sql import parse_query
 from repro.workload import WorkloadRunner, make_benchmark_workload
 
-ALL_NAMES = ("zero-shot", "flat", "mscn", "e2e", "scaled-optimizer-cost")
+ALL_NAMES = ("zero-shot", "zero-shot-cardinality", "flat", "mscn", "e2e",
+             "scaled-optimizer-cost")
 WORKLOAD_DRIVEN = ("mscn", "e2e")
 
 
@@ -189,6 +190,139 @@ class TestWorkloadDrivenSpecifics:
         fitted[name].save(directory)
         with pytest.raises(ModelError, match="needs the database"):
             load_estimator(directory)
+
+
+class TestCardinalityHead:
+    """Cardinality-specific surface of the ``zero-shot-cardinality``
+    estimator — the generic contract above already covers it via
+    ``ALL_NAMES``/``available_estimators()``."""
+
+    def test_unfitted_cardinality_predict_raises_uniform_model_error(
+            self, tiny_imdb, executed):
+        from repro.models import get_estimator
+        estimator = get_estimator("zero-shot-cardinality")
+        with pytest.raises(ModelError, match="before fit"):
+            estimator.predict_cardinalities([executed[0].plan], tiny_imdb)
+
+    def test_predicts_per_operator_arrays(self, fitted, tiny_imdb,
+                                          executed):
+        estimator = fitted["zero-shot-cardinality"]
+        plans = [r.plan for r in executed[:6]]
+        predictions = estimator.predict_cardinalities(plans, tiny_imdb)
+        assert len(predictions) == len(plans)
+        for plan, cards in zip(plans, predictions):
+            assert cards.shape == (plan.num_nodes,)
+            assert (cards >= 0).all()
+        assert estimator.predict_cardinalities([], tiny_imdb) == []
+
+    def test_per_plan_equals_batched_cardinalities(self, fitted, tiny_imdb,
+                                                   executed):
+        estimator = fitted["zero-shot-cardinality"]
+        plans = [r.plan for r in executed[:8]]
+        batched = estimator.predict_cardinalities(plans, tiny_imdb)
+        for plan, expected in zip(plans, batched):
+            single = estimator.predict_cardinalities([plan], tiny_imdb)[0]
+            np.testing.assert_array_equal(single, expected)
+
+    def test_save_load_preserves_cardinality_head(self, fitted, tiny_imdb,
+                                                  executed, tmp_path):
+        estimator = fitted["zero-shot-cardinality"]
+        plans = [r.plan for r in executed[:4]]
+        expected = estimator.predict_cardinalities(plans, tiny_imdb)
+        directory = tmp_path / "card"
+        estimator.save(directory)
+        loaded = load_estimator(directory, tiny_imdb)
+        assert type(loaded) is type(estimator)
+        restored = loaded.predict_cardinalities(plans, tiny_imdb)
+        for a, b in zip(restored, expected):
+            np.testing.assert_array_equal(a, b)
+
+    def test_headless_config_rejected(self):
+        from repro.featurize.graph import CardinalitySource
+        from repro.models import ZeroShotCardinalityEstimator, ZeroShotConfig
+        with pytest.raises(ModelError, match="cardinality_head"):
+            ZeroShotCardinalityEstimator(
+                config=ZeroShotConfig(cardinality_head=False))
+        from repro.models import ZeroShotCostModel
+        with pytest.raises(ModelError, match="cardinality head"):
+            ZeroShotCardinalityEstimator(
+                model=ZeroShotCostModel(),
+                source=CardinalitySource.ESTIMATED)
+
+    def test_runtime_only_estimator_has_no_cardinality_surface(
+            self, fitted, tiny_imdb, executed):
+        """The plain zero-shot model must refuse cardinality prediction
+        instead of silently returning something."""
+        base = fitted["zero-shot"]
+        with pytest.raises(ModelError, match="cardinality head"):
+            base.model.predict_cardinalities(
+                base.featurize([executed[0].plan], tiny_imdb))
+
+    def test_service_serves_cardinalities(self, fitted, tiny_imdb,
+                                          executed):
+        from repro.serve import CostModelService
+        estimator = fitted["zero-shot-cardinality"]
+        plans = [r.plan for r in executed[:6]]
+        service = CostModelService(estimator, tiny_imdb, max_batch_size=2)
+        served = service.predict_cardinalities(plans)
+        direct = estimator.predict_cardinalities(plans, tiny_imdb)
+        for a, b in zip(served, direct):
+            np.testing.assert_array_equal(a, b)
+        # The encode cache is shared with runtime serving.
+        assert service.stats.cache_misses == len(plans)
+        service.predict_runtime(plans)
+        assert service.stats.cache_misses == len(plans)
+
+    def test_service_rejects_headless_estimator(self, fitted, tiny_imdb,
+                                                executed):
+        from repro.serve import CostModelService
+        service = CostModelService(fitted["zero-shot"], tiny_imdb)
+        with pytest.raises(ModelError, match="does not predict"):
+            service.predict_cardinalities([executed[0].plan])
+
+    def test_fine_tune_keeps_cardinality_surface(self, fitted, tiny_imdb,
+                                                 executed):
+        """Regression: fine_tune used to return the base runtime-only
+        class (dropping predict_cardinalities and saving under the wrong
+        manifest name) and to update the shared trunk with a
+        runtime-only loss (decalibrating the frozen card readout)."""
+        base = fitted["zero-shot-cardinality"]
+        tuned = base.fine_tune(executed[:8], tiny_imdb, TrainerConfig(
+            epochs=2, batch_size=8, validation_fraction=0.0,
+            early_stopping_patience=2))
+        assert type(tuned) is type(base)
+        assert tuned.name == "zero-shot-cardinality"
+        assert tuned.model.history is not None  # multi-task training ran
+        cards = tuned.predict_cardinalities([executed[0].plan], tiny_imdb)
+        assert cards[0].shape == (executed[0].plan.num_nodes,)
+
+    def test_fine_tune_requires_cardinality_labels(self, fitted, tiny_imdb,
+                                                   executed):
+        """fewshot.fine_tune refuses a runtime-only update of a
+        multi-task model instead of silently decalibrating it."""
+        from repro.models.fewshot import fine_tune
+        base = fitted["zero-shot-cardinality"]
+        runtime_only = base.featurize(
+            [r.plan for r in executed[:4]], tiny_imdb,
+            [r.runtime_seconds for r in executed[:4]])
+        with pytest.raises(ModelError, match="cardinality labels"):
+            fine_tune(base.model, runtime_only)
+
+    def test_failed_multi_task_fit_leaves_model_unfitted(self, tiny_imdb,
+                                                         executed):
+        """Regression: a rejected multi-task fit (missing card labels)
+        must not leave scalers assigned (is_fitted True on an untrained
+        net)."""
+        from repro.models import ZeroShotCardinalityEstimator, ZeroShotConfig
+        estimator = ZeroShotCardinalityEstimator(
+            config=ZeroShotConfig(hidden_dim=16, cardinality_head=True))
+        runtime_only = estimator.featurizer.featurize(
+            executed[0].plan, tiny_imdb, executed[0].runtime_seconds)
+        with pytest.raises(ModelError, match="cardinality labels"):
+            estimator.model.fit([runtime_only])
+        assert not estimator.model.is_fitted
+        with pytest.raises(ModelError, match="before fit"):
+            estimator.predict_runtime([executed[0].plan], tiny_imdb)
 
 
 class TestZeroShotEstimator:

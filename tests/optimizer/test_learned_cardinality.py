@@ -1,0 +1,168 @@
+"""Learned cardinality injection: drop-in behaviour + fallback safety."""
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticDatabaseSpec, generate_database
+from repro.errors import ModelError, OptimizerError
+from repro.models import TrainerConfig, ZeroShotConfig, get_estimator
+from repro.optimizer import (
+    CardinalityEstimator,
+    LearnedCardinalityEstimator,
+    Planner,
+    plan_query,
+)
+from repro.optimizer.learned_planner import ZeroShotPlanSelector, candidate_plans
+from repro.workload import WorkloadRunner, WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    database = generate_database(SyntheticDatabaseSpec(
+        name="lc-synth", seed=31, num_tables=4, min_rows=400, max_rows=3_000,
+    ))
+    runner = WorkloadRunner(database, seed=5)
+    records = runner.run(generate_workload(
+        database, WorkloadSpec(num_queries=40, seed=6)))
+    estimator = get_estimator(
+        "zero-shot-cardinality",
+        config=ZeroShotConfig(hidden_dim=16, cardinality_head=True))
+    estimator.fit(records, database, TrainerConfig(
+        epochs=5, batch_size=16, early_stopping_patience=5))
+    return database, records, estimator
+
+
+def _plan_shape(plan):
+    return [(node.label(), node.est_rows) for node in plan.nodes()]
+
+
+class TestDropIn:
+    def test_fragment_rows_are_learned_and_cached(self, setup):
+        database, records, estimator = setup
+        learned = LearnedCardinalityEstimator(database, estimator)
+        query = next(r.query for r in records if len(r.query.tables) >= 2)
+        aliases = frozenset(query.table_names)
+        rows = learned.joined_rows(query, aliases)
+        assert rows >= 1.0
+        assert learned.learned_fragments >= 1
+        before = learned.learned_fragments
+        assert learned.joined_rows(query, aliases) == rows  # cache hit
+        assert learned.learned_fragments == before
+
+    def test_planner_accepts_injected_estimator(self, setup):
+        database, records, estimator = setup
+        learned = LearnedCardinalityEstimator(database, estimator)
+        for record in records[:8]:
+            plan = Planner(database,
+                           cardinality_estimator=learned).plan(record.query)
+            assert plan.num_nodes >= 2
+        assert learned.learned_fragments > 0
+
+    def test_query_cache_is_lru_bounded(self, setup):
+        """A long-lived estimator must not pin every query it ever
+        priced: the per-query fragment cache is LRU-bounded."""
+        database, records, estimator = setup
+        learned = LearnedCardinalityEstimator(database, estimator,
+                                              cached_queries=2)
+        queries = [r.query for r in records[:4]]
+        for query in queries:
+            learned.joined_rows(query, frozenset(query.table_names))
+        assert len(learned._cache) == 2
+        # The most recent queries survive; the oldest were evicted.
+        assert [entry[0] for entry in learned._cache.values()] == \
+            queries[-2:]
+        with pytest.raises(ModelError, match="positive"):
+            LearnedCardinalityEstimator(database, estimator,
+                                        cached_queries=0)
+
+    def test_unknown_alias_still_rejected(self, setup):
+        database, records, estimator = setup
+        learned = LearnedCardinalityEstimator(database, estimator)
+        with pytest.raises(OptimizerError, match="unknown aliases"):
+            learned.joined_rows(records[0].query, frozenset({"nope"}))
+
+    def test_model_without_cardinality_surface_rejected(self, setup):
+        database, _, _ = setup
+        with pytest.raises(ModelError, match="predict_cardinalities"):
+            LearnedCardinalityEstimator(database, object())
+
+    def test_core_model_accepted(self, setup):
+        """A raw ZeroShotCostModel (not the estimator wrapper) works."""
+        database, records, estimator = setup
+        learned = LearnedCardinalityEstimator(database, estimator.model)
+        query = next(r.query for r in records if len(r.query.tables) >= 2)
+        rows = learned.joined_rows(query, frozenset(query.table_names))
+        wrapped = LearnedCardinalityEstimator(database, estimator)
+        assert rows == wrapped.joined_rows(query,
+                                           frozenset(query.table_names))
+
+
+class TestFallback:
+    def test_fallback_only_plans_identical_to_classical(self, setup):
+        """When every fragment takes the heuristic path, the DP search
+        must produce bit-identical plans — the acceptance property that
+        learned == heuristic estimates imply identical plans."""
+        database, records, estimator = setup
+        fallback = LearnedCardinalityEstimator(database, estimator,
+                                               fallback_only=True)
+        for record in records[:12]:
+            classical = Planner(database).plan(record.query)
+            injected = Planner(
+                database, cardinality_estimator=fallback).plan(record.query)
+            assert _plan_shape(classical) == _plan_shape(injected)
+            assert classical.total_cost == injected.total_cost
+        assert fallback.learned_fragments == 0
+        assert fallback.fallback_fragments > 0
+
+    def test_erroring_model_falls_back_per_fragment(self, setup):
+        database, records, estimator = setup
+
+        class Exploding:
+            # Core-model surface: predict_cardinalities(graphs).
+            def predict_cardinalities(self, graphs):
+                raise ModelError("no predictions today")
+
+        broken = LearnedCardinalityEstimator(database, Exploding())
+        for record in records[:6]:
+            classical = Planner(database).plan(record.query)
+            injected = Planner(
+                database, cardinality_estimator=broken).plan(record.query)
+            assert _plan_shape(classical) == _plan_shape(injected)
+        assert broken.learned_fragments == 0
+        assert broken.fallback_fragments > 0
+
+    def test_disconnected_fragment_falls_back_to_heuristic(self, setup):
+        database, records, estimator = setup
+        query = next(r.query for r in records if len(r.query.tables) >= 3)
+        learned = LearnedCardinalityEstimator(database, estimator)
+        heuristic = CardinalityEstimator(database)
+        # Find a disconnected pair (the DP never asks for one, but the
+        # drop-in surface must still answer consistently).
+        aliases = query.table_names
+        from repro.optimizer.join_order import connected_subsets
+        connected = set(connected_subsets(query))
+        disconnected = None
+        for a in aliases:
+            for b in aliases:
+                if a < b and frozenset({a, b}) not in connected:
+                    disconnected = frozenset({a, b})
+        if disconnected is None:
+            pytest.skip("workload produced no disconnected pair")
+        before = learned.fallback_fragments
+        rows = learned.joined_rows(query, disconnected)
+        assert rows == heuristic.joined_rows(query, disconnected)
+        assert learned.fallback_fragments == before + 1
+
+
+class TestPlanSelector:
+    def test_selector_accepts_cardinality_estimator(self, setup, tiny_imdb):
+        database, records, estimator = setup
+        learned = LearnedCardinalityEstimator(database, estimator)
+        plans = candidate_plans(database, records[0].query,
+                                cardinality_estimator=learned)
+        assert plans
+        selector = ZeroShotPlanSelector(database, estimator,
+                                        cardinality_estimator=learned)
+        choice = selector.choose(records[0].query)
+        assert choice.plan.num_nodes >= 1
+        assert np.isfinite(choice.predicted_seconds)

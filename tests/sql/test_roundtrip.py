@@ -1,0 +1,72 @@
+"""Property-style SQL round-trip tests.
+
+For every query the workload generator emits at quick scale,
+``parse(text(parse(sql)))`` must be a fixed point: printing a parsed
+query and re-parsing it changes neither the SQL text nor the AST.  This
+pins the parser/printer pair the estimator API's SQL entry point and
+the examples rely on.
+"""
+
+import pytest
+
+from repro.db import SyntheticDatabaseSpec, generate_database
+from repro.sql import parse_query
+from repro.sql.text import query_to_sql
+from repro.workload import WorkloadSpec, generate_workload
+
+#: Quick-scale workload shape (mirrors ExperimentScale.quick()'s corpus:
+#: every generator feature — joins, IN lists, BETWEEN, group-by — shows
+#: up at this size).
+QUICK_QUERIES = 60
+
+
+@pytest.fixture(scope="module")
+def workloads(tiny_imdb):
+    synth = generate_database(SyntheticDatabaseSpec(
+        name="roundtrip-synth", seed=23, num_tables=5,
+        min_rows=300, max_rows=3_000,
+    ))
+    return {
+        "imdb": generate_workload(
+            tiny_imdb, WorkloadSpec(num_queries=QUICK_QUERIES, seed=3)),
+        "synthetic": generate_workload(
+            synth, WorkloadSpec(num_queries=QUICK_QUERIES, seed=4)),
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["imdb", "synthetic"])
+    def test_text_fixed_point(self, workloads, name):
+        """text(parse(text(q))) == text(q) for every generated query."""
+        for query in workloads[name]:
+            sql = query_to_sql(query)
+            reprinted = query_to_sql(parse_query(sql))
+            assert reprinted == sql, f"printer not stable for: {sql}"
+
+    @pytest.mark.parametrize("name", ["imdb", "synthetic"])
+    def test_ast_fixed_point(self, workloads, name):
+        """parse(text(parse(sql))) == parse(sql) for every query."""
+        for query in workloads[name]:
+            sql = query_to_sql(query)
+            parsed = parse_query(sql)
+            reparsed = parse_query(query_to_sql(parsed))
+            assert reparsed == parsed, f"parser not stable for: {sql}"
+
+    def test_generator_queries_parse_back_equal(self, workloads):
+        """The printed form of a generated Query parses back to an AST
+        equal to the original (numeric literals may change int/float
+        representation; dataclass equality treats 2 == 2.0)."""
+        for queries in workloads.values():
+            for query in queries:
+                assert parse_query(query_to_sql(query)) == query
+
+    def test_covers_generator_features(self, workloads):
+        """The property set is only meaningful if the workloads actually
+        exercise the grammar: joins, predicates, IN/BETWEEN, group-by."""
+        from repro.sql.ast import ComparisonOperator
+        queries = [q for qs in workloads.values() for q in qs]
+        assert any(len(q.tables) >= 3 for q in queries)
+        operators = {p.operator for q in queries for p in q.predicates}
+        assert ComparisonOperator.IN in operators
+        assert ComparisonOperator.BETWEEN in operators
+        assert any(q.group_by for q in queries)

@@ -1,7 +1,7 @@
 """Doc-parity: every code reference in the documentation must resolve.
 
 Two layers keep README.md / docs/ARCHITECTURE.md / docs/TRAINING.md /
-PAPER.md from rotting:
+docs/TESTING.md / PAPER.md from rotting:
 
 * every backticked dotted ``repro...`` token in the documents is
   resolved against the real package (modules imported, attributes
@@ -21,7 +21,7 @@ import repro
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/TRAINING.md",
-             "PAPER.md"]
+             "docs/TESTING.md", "PAPER.md"]
 
 #: ``repro.foo.bar`` / ``repro.foo.Symbol`` inside backticks.
 _REFERENCE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")

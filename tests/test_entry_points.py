@@ -19,6 +19,7 @@ _ENTRY = re.compile(r'"([\w-]+)\s*=\s*([\w.]+):(\w+)"')
 
 EXPECTED_SCRIPTS = {
     "repro-cache": "repro.experiments.cache",
+    "repro-cardinality": "repro.experiments.cardinality_exp",
     "repro-figure3": "repro.experiments.figure3",
     "repro-table1": "repro.experiments.table1",
     "repro-learning-curve": "repro.experiments.learning_curve",

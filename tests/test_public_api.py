@@ -8,8 +8,10 @@ import pytest
 import repro
 
 SUBPACKAGES = ["repro.db", "repro.sql", "repro.plans", "repro.engine",
-               "repro.optimizer", "repro.runtime", "repro.nn",
+               "repro.optimizer", "repro.optimizer.learned_cardinality",
+               "repro.runtime", "repro.nn",
                "repro.featurize", "repro.models", "repro.models.api",
+               "repro.models.cardinality",
                "repro.workload", "repro.tuning", "repro.serve",
                "repro.experiments"]
 
