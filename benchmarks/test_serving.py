@@ -1,0 +1,213 @@
+"""Traffic microbench: the concurrent serving tier under tenant load.
+
+The ROADMAP's north star is heavy traffic from many concurrent
+callers.  ``repro.serve.CostModelService`` (PR 4) made *one* caller
+cheap; ``repro.serve.PredictionServer`` coalesces requests *across*
+callers.  Two acceptance gates:
+
+* **throughput/SLO** — 8 simulated clients issuing blocking requests
+  through the server sustain aggregate throughput ≥ 2× the serial
+  single-caller loop (the PR 4 status quo: one thread calling
+  ``service.predict_runtime([plan])`` per request), with every served
+  response bit-identical to direct estimator prediction and p99
+  submit→response latency under a hard bound;
+* **hot swap under load** — swapping in a freshly saved estimator
+  (through the ``load_estimator`` manifests) while 8 clients stream
+  requests drops zero requests, never mixes model versions within a
+  batch, and keeps every response bit-identical (same weights → same
+  bits, whichever version served it).
+
+Every wait in this file is bounded, so a deadlocked server fails the
+gate instead of hanging the job.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.featurize.graph import CardinalitySource
+from repro.optimizer import Planner
+from repro.serve import CostModelService, PredictionServer
+from repro.workload import make_benchmark_workload
+
+pytestmark = pytest.mark.concurrency
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 40
+#: Hard SLO on p99 submit→response latency under sustained 8-client
+#: load (default-scale zero-shot model, warm encode cache).
+P99_BOUND_SECONDS = 0.25
+#: Bound on every individual wait — a hung server fails, never hangs.
+WAIT = 120.0
+
+
+@pytest.fixture(scope="module")
+def imdb(context):
+    return context.imdb
+
+
+@pytest.fixture(scope="module")
+def estimator(context):
+    return context.estimator(CardinalitySource.ESTIMATED)
+
+
+@pytest.fixture(scope="module")
+def serving_plans(imdb):
+    planner = Planner(imdb)
+    queries = make_benchmark_workload(imdb, "scale", 20, seed=99)
+    return [planner.plan(query) for query in queries]
+
+
+def _stream_clients(server, serving_plans, n_clients, per_client):
+    """``n_clients`` threads, each issuing ``per_client`` blocking
+    requests over its own seeded shuffle of the plan pool; returns all
+    (plan, response) pairs and the aggregate wall-clock seconds."""
+    responses = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client(cid):
+        rng = np.random.default_rng(cid)
+        barrier.wait(WAIT)
+        mine = []
+        for _ in range(per_client):
+            plan = serving_plans[rng.integers(len(serving_plans))]
+            mine.append((plan, server.predict_runtime(
+                plan, tenant=f"tenant-{cid}", timeout=WAIT)))
+        with lock:
+            responses.extend(mine)
+
+    threads = [threading.Thread(target=client, args=(cid,))
+               for cid in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(WAIT)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(WAIT)
+    elapsed = time.perf_counter() - start
+    assert not any(thread.is_alive() for thread in threads), \
+        "client threads stuck: serving tier deadlocked"
+    return responses, elapsed
+
+
+def test_multi_tenant_throughput_gate(estimator, imdb, serving_plans):
+    """Acceptance gate: ≥ 2× aggregate throughput over the serial
+    single-caller loop, bit-identical responses, p99 under the SLO."""
+    service = CostModelService(estimator, imdb)
+    service.warm(serving_plans)
+    reference = {
+        id(plan): value for plan, value in
+        zip(serving_plans, service.predict_runtime(serving_plans))
+    }
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+
+    def serial_arm():
+        """The PR 4 status quo: one caller, one request at a time."""
+        rng = np.random.default_rng(0)
+        start = time.perf_counter()
+        for _ in range(total):
+            plan = serving_plans[rng.integers(len(serving_plans))]
+            predicted = service.predict_runtime([plan])[0]
+            assert predicted == reference[id(plan)]
+        return time.perf_counter() - start
+
+    def concurrent_arm():
+        with PredictionServer(service, max_batch_size=N_CLIENTS,
+                              max_wait_ms=2.0) as server:
+            responses, elapsed = _stream_clients(
+                server, serving_plans, N_CLIENTS, REQUESTS_PER_CLIENT)
+            # Bit-identity under cross-client batching.
+            for plan, response in responses:
+                assert response.runtime == reference[id(plan)]
+            assert len(responses) == total
+            assert server.stats.requests == total
+            assert server.stats.failures == 0
+            # SLO: p99 submit→response latency under sustained load.
+            p99 = server.stats.latency_p99
+            assert p99 < P99_BOUND_SECONDS, (
+                f"p99 latency {p99 * 1e3:.1f} ms breaches the "
+                f"{P99_BOUND_SECONDS * 1e3:.0f} ms SLO"
+            )
+            # Coalescing happened: far fewer forwards than requests.
+            assert server.stats.batches < total
+        return elapsed
+
+    # Interleave rounds so a load spike hits both arms alike.
+    best = {"serial": float("inf"), "concurrent": float("inf")}
+    for _ in range(3):
+        best["serial"] = min(best["serial"], serial_arm())
+        best["concurrent"] = min(best["concurrent"], concurrent_arm())
+
+    speedup = best["serial"] / best["concurrent"]
+    assert speedup >= 2.0, (
+        f"{N_CLIENTS} concurrent clients only {speedup:.2f}x the serial "
+        f"single-caller loop ({best['serial'] * 1e3:.0f} ms vs "
+        f"{best['concurrent'] * 1e3:.0f} ms for {total} requests)"
+    )
+
+
+def test_hot_swap_under_load_zero_drops(estimator, imdb, serving_plans,
+                                        tmp_path_factory):
+    """Acceptance gate: hot-swapping a freshly saved estimator in from
+    disk under sustained load drops zero requests, keeps one model
+    version per batch, and stays bit-identical throughout."""
+    directory = tmp_path_factory.mktemp("swap") / "refreshed"
+    estimator.save(directory)
+
+    service = CostModelService(estimator, imdb)
+    service.warm(serving_plans)
+    reference = {
+        id(plan): value for plan, value in
+        zip(serving_plans, service.predict_runtime(serving_plans))
+    }
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+
+    swap_tags = []
+    with PredictionServer(service, max_batch_size=N_CLIENTS,
+                          max_wait_ms=2.0) as server:
+        stop_swapping = threading.Event()
+
+        def swapper():
+            # Keep reloading the saved model while traffic flows: the
+            # load + warm happen off the serving lock, installation is
+            # atomic.
+            while not stop_swapping.is_set():
+                tag = f"refresh-{len(swap_tags) + 1}"
+                swap_tags.append(server.swap(directory, version=tag,
+                                             warm=serving_plans))
+                stop_swapping.wait(0.02)
+
+        swap_thread = threading.Thread(target=swapper)
+        swap_thread.start()
+        try:
+            responses, _ = _stream_clients(
+                server, serving_plans, N_CLIENTS, REQUESTS_PER_CLIENT)
+        finally:
+            stop_swapping.set()
+            swap_thread.join(WAIT)
+        assert not swap_thread.is_alive()
+
+        # Zero dropped requests, all accounted for.
+        assert len(responses) == total
+        assert server.stats.requests == total
+        assert server.stats.failures == 0
+        assert server.pending == 0
+        assert server.stats.swaps == len(swap_tags) >= 1
+
+        versions_seen = set()
+        batch_versions = {}
+        for plan, response in responses:
+            # Same weights on both sides of every swap → bit-identical
+            # predictions no matter which version served the request.
+            assert response.runtime == reference[id(plan)]
+            versions_seen.add(response.model_version)
+            batch_versions.setdefault(response.batch_index,
+                                      set()).add(response.model_version)
+        # Every response tagged with exactly one known version...
+        assert versions_seen <= {"v0", *swap_tags}
+        # ...and no batch mixes versions.
+        assert all(len(versions) == 1
+                   for versions in batch_versions.values())

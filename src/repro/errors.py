@@ -15,6 +15,8 @@ __all__ = [
     "ExecutionError",
     "FeaturizationError",
     "ModelError",
+    "ServeError",
+    "Overloaded",
     "WorkloadError",
     "ExperimentError",
 ]
@@ -58,6 +60,16 @@ class FeaturizationError(ReproError):
 
 class ModelError(ReproError):
     """Model construction, training or inference failed."""
+
+
+class ServeError(ReproError):
+    """The serving tier was misused (stopped server, timed-out wait, ...)."""
+
+
+class Overloaded(ServeError):
+    """Admission control rejected a request: the server's queue is at
+    its bound.  Callers should back off and retry — an explicit, fast
+    rejection instead of unbounded queueing latency."""
 
 
 class WorkloadError(ReproError):

@@ -28,6 +28,7 @@ from repro.models.api import (
     available_estimators,
     get_estimator,
     load_estimator,
+    peek_manifest,
     register_estimator,
     resolve_plans,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "fine_tune",
     "get_estimator",
     "load_estimator",
+    "peek_manifest",
     "q_error",
     "q_error_stats",
     "register_estimator",

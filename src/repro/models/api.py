@@ -61,6 +61,7 @@ __all__ = [
     "available_estimators",
     "get_estimator",
     "load_estimator",
+    "peek_manifest",
     "register_estimator",
     "resolve_plans",
 ]
@@ -321,6 +322,29 @@ def reset_estimators() -> None:
     """Restore the built-in registry (for tests that register customs)."""
     _ESTIMATORS.clear()
     _ESTIMATORS.update(_DEFAULT_ESTIMATORS)
+
+
+def peek_manifest(directory: str | os.PathLike) -> dict:
+    """Read a saved estimator's manifest without loading any weights.
+
+    The serving tier's pre-swap validation hook: before
+    :class:`repro.serve.server.PredictionServer` hot-swaps a model in
+    from disk, it peeks at the manifest to confirm the directory holds
+    a loadable estimator and to derive the new version's tag from the
+    manifest ``"name"``.  Raises :class:`~repro.errors.ModelError` when
+    the directory holds no manifest or names an estimator that no
+    registered factory can load.
+    """
+    payload = CostEstimator._read_manifest(directory)
+    name = payload.get("name")
+    factory = _ESTIMATORS.get(name)
+    if getattr(factory, "load", None) is None:
+        raise ModelError(
+            f"manifest in {os.fspath(directory)!r} names estimator "
+            f"{name!r}, which no registered factory can load "
+            f"(available: {', '.join(available_estimators())})"
+        )
+    return payload
 
 
 def load_estimator(directory: str | os.PathLike,

@@ -1,0 +1,401 @@
+"""Concurrent multi-tenant front end over :class:`CostModelService`.
+
+:class:`~repro.serve.service.CostModelService` (PR 4) micro-batches and
+caches, but it is synchronous and single-caller: concurrent tenants
+serialize behind one ``predict_runtime`` call, and there is no way to
+refresh a fine-tuned estimator without dropping requests.
+:class:`PredictionServer` is the production-shaped tier on top:
+
+* **cross-client micro-batching** — requests from any number of tenant
+  threads land in one queue; a dedicated batcher thread coalesces them
+  into shared batches, flushing when ``max_batch_size`` requests are
+  pending or the *oldest* pending request has waited ``max_wait_ms``
+  (whichever comes first), so a lone caller is never parked behind an
+  unfilled batch for long;
+* **admission control / load shedding** — the queue depth is bounded by
+  ``max_queue_depth``; beyond it :meth:`PredictionServer.submit` raises
+  :class:`~repro.errors.Overloaded` immediately instead of letting
+  latency grow without bound;
+* **hot model swap** — :meth:`PredictionServer.swap` installs a new
+  estimator (an in-memory :class:`~repro.models.api.CostEstimator`, a
+  prebuilt service, or a directory saved by ``estimator.save`` loaded
+  through the :func:`~repro.models.api.load_estimator` manifests).
+  Loading happens *outside* the server lock; installation is one atomic
+  pointer swap.  The batcher pins ``(service, version)`` under the same
+  lock it pops requests with, so **every batch is served by exactly one
+  model version, every response is tagged with that version, and no
+  request is dropped** during a swap;
+* **fault isolation** — an estimator error poisons only the batch it
+  occurred in: those requests fail with the original exception, the
+  batcher thread survives, and subsequent batches are served normally.
+
+Why threads and not asyncio?  The hot path is numpy/BLAS work that
+releases the GIL, so a batcher thread genuinely overlaps model forwards
+with client-side queueing; every existing caller of this library
+(runners, advisors, experiment drivers) is synchronous and can block on
+:meth:`PendingPrediction.result` without owning an event loop; and an
+asyncio front end would still have to push the CPU-bound forward onto a
+thread anyway.  The full rationale lives in ``docs/ARCHITECTURE.md``.
+
+Because inference is batch-size invariant (``_stable_matmul`` in
+``repro.nn.tensor``), responses are **bit-identical** to direct
+``CostEstimator.predict_runtime`` calls no matter how requests from
+different tenants are interleaved into batches —
+``tests/serve/test_server.py`` asserts this under real thread
+interleavings and ``benchmarks/test_serving.py`` gates throughput and
+p99 latency under sustained multi-client traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import ModelError, Overloaded, ServeError
+from repro.models.api import CostEstimator, load_estimator, peek_manifest
+from repro.serve.service import CostModelService, ServiceStats
+
+__all__ = ["PendingPrediction", "PredictionResponse", "PredictionServer",
+           "serve_estimator"]
+
+
+@dataclass(frozen=True)
+class PredictionResponse:
+    """One answered request.
+
+    ``model_version`` names the exact estimator version that produced
+    the prediction; ``batch_index`` identifies the server batch the
+    request was coalesced into (all members of a batch share one
+    version — the hot-swap tests group by it to prove no batch mixes
+    versions).
+    """
+
+    runtime: float            #: predicted runtime in seconds
+    model_version: str        #: version tag of the serving estimator
+    batch_index: int          #: monotonic id of the coalesced batch
+    latency_seconds: float    #: submit → response latency
+    tenant: str | None        #: tenant tag echoed from the request
+
+
+class PendingPrediction:
+    """A submitted request: a one-shot future resolved by the batcher.
+
+    Created by :meth:`PredictionServer.submit`; :meth:`result` blocks
+    until the batcher answers (or ``timeout`` elapses) and either
+    returns the :class:`PredictionResponse` or re-raises the estimator
+    error that poisoned the request's batch.
+    """
+
+    __slots__ = ("item", "tenant", "_enqueued_at", "_event", "_response",
+                 "_error")
+
+    def __init__(self, item: Any, tenant: str | None):
+        self.item = item
+        self.tenant = tenant
+        self._enqueued_at = time.perf_counter()
+        self._event = threading.Event()
+        self._response: PredictionResponse | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the request has been answered (or failed)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> PredictionResponse:
+        """Block for the response; raises :class:`ServeError` on
+        timeout, or the original estimator error if the batch failed."""
+        if not self._event.wait(timeout):
+            raise ServeError(
+                f"prediction not answered within {timeout}s (server "
+                f"stopped, overloaded, or deadlocked?)"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    # -- batcher side --------------------------------------------------
+    def _resolve(self, response: PredictionResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class PredictionServer:
+    """Serve one :class:`CostModelService` to many concurrent tenants
+    (see the module docstring for the design).
+
+    The server starts its batcher thread on construction and is used as
+    a context manager or closed explicitly::
+
+        with PredictionServer(service, max_wait_ms=2.0) as server:
+            response = server.predict_runtime(plan, tenant="t0")
+            server.swap("/path/to/saved/estimator")   # zero downtime
+
+    Parameters
+    ----------
+    service:
+        The :class:`CostModelService` to serve.  The server is the
+        concurrency boundary: all service calls happen on the single
+        batcher thread, so the service itself stays single-caller.
+    max_batch_size:
+        Cross-client coalescing bound (defaults to the service's own
+        ``max_batch_size``).
+    max_wait_ms:
+        How long the oldest pending request may wait for its batch to
+        fill before a partial flush.  ``0`` flushes whatever is queued
+        immediately (latency-optimal, throughput-pessimal).
+    max_queue_depth:
+        Admission-control bound on pending requests; beyond it
+        :meth:`submit` sheds load with :class:`Overloaded`.
+    version:
+        Tag of the initially installed model (responses carry it).
+    """
+
+    def __init__(self, service: CostModelService, *,
+                 max_batch_size: int | None = None,
+                 max_wait_ms: float = 2.0,
+                 max_queue_depth: int = 1024,
+                 version: str = "v0"):
+        if not isinstance(service, CostModelService):
+            raise ServeError(
+                "PredictionServer fronts a CostModelService; wrap the "
+                "estimator first (CostModelService(estimator, database))"
+            )
+        if max_batch_size is None:
+            max_batch_size = service.max_batch_size
+        if max_batch_size < 1:
+            raise ServeError(f"max_batch_size must be >= 1, "
+                             f"got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ServeError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_depth < 1:
+            raise ServeError(f"max_queue_depth must be >= 1, "
+                             f"got {max_queue_depth}")
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_ms / 1e3
+        self.max_queue_depth = max_queue_depth
+        self.stats = ServiceStats()
+        self._service = service
+        self._version = version
+        self._version_counter = 0
+        self._batch_counter = 0
+        self._queue: deque[PendingPrediction] = deque()
+        self._cond = threading.Condition()
+        self._running = True
+        self._batcher = threading.Thread(target=self._run,
+                                         name="repro-serve-batcher",
+                                         daemon=True)
+        self._batcher.start()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def service(self) -> CostModelService:
+        """The currently installed service (changes on :meth:`swap`)."""
+        with self._cond:
+            return self._service
+
+    @property
+    def model_version(self) -> str:
+        """Version tag new batches are currently served by."""
+        with self._cond:
+            return self._version
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet pulled into a batch."""
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the server accepts new requests."""
+        with self._cond:
+            return self._running
+
+    # -- client surface ------------------------------------------------
+    def submit(self, item: "Any", tenant: str | None = None
+               ) -> PendingPrediction:
+        """Enqueue one plan / parsed query / SQL string for prediction.
+
+        Returns immediately with a :class:`PendingPrediction`; raises
+        :class:`Overloaded` when the queue is at ``max_queue_depth``
+        and :class:`ServeError` when the server is closed.
+        """
+        pending = PendingPrediction(item, tenant)
+        with self._cond:
+            if not self._running:
+                raise ServeError("server is closed; no new requests")
+            if len(self._queue) >= self.max_queue_depth:
+                self.stats.add(rejected=1)
+                raise Overloaded(
+                    f"queue depth {self.max_queue_depth} reached "
+                    f"({self.max_queue_depth} requests pending); back "
+                    f"off and retry"
+                )
+            self._queue.append(pending)
+            self._cond.notify_all()
+        return pending
+
+    def predict_runtime(self, item: "Any", tenant: str | None = None,
+                        timeout: float | None = None) -> PredictionResponse:
+        """Blocking convenience: submit one request and wait for it."""
+        return self.submit(item, tenant).result(timeout)
+
+    # -- hot model swap ------------------------------------------------
+    def swap(self, source: "CostModelService | CostEstimator | str | os.PathLike",
+             version: str | None = None,
+             warm: Sequence[Any] | None = None) -> str:
+        """Atomically install a new model; returns its version tag.
+
+        ``source`` is a prebuilt :class:`CostModelService`, a fitted
+        :class:`CostEstimator`, or a directory written by
+        ``estimator.save`` (loaded via the
+        :func:`~repro.models.api.load_estimator` manifest dispatch —
+        :func:`~repro.models.api.peek_manifest` validates the manifest
+        and names the default version tag before any weights are read).
+
+        All loading, service construction and optional cache warming
+        (``warm`` — items encoded into the *new* service's cache)
+        happen **outside** the server lock, so serving never stalls on
+        a swap; the installation itself is one pointer assignment under
+        the batcher's lock.  Batches formed before the swap complete on
+        the old version, batches formed after it use the new one —
+        exactly one version per batch, zero requests dropped.
+        """
+        label = version
+        if isinstance(source, CostModelService):
+            service = source
+        else:
+            current = self.service
+            if isinstance(source, CostEstimator):
+                estimator = source
+            else:
+                manifest = peek_manifest(source)
+                if label is None:
+                    label = f"{manifest['name']}@{os.path.basename(str(source))}"
+                estimator = load_estimator(source, current.database)
+            service = CostModelService(
+                estimator, current.database,
+                max_batch_size=current.max_batch_size,
+                cache_entries=current.cache_entries,
+            )
+        if warm is not None:
+            service.warm(warm)
+        with self._cond:
+            if not self._running:
+                raise ServeError("server is closed; cannot swap models")
+            if label is None:
+                self._version_counter += 1
+                label = f"v{self._version_counter}"
+            self._service = service
+            self._version = label
+        self.stats.add(swaps=1)
+        return label
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting requests, drain the queue, join the batcher.
+
+        Every request admitted before ``close`` is still answered (the
+        batcher flushes the remaining queue without waiting for batches
+        to fill); idempotent.
+        """
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        self._batcher.join()
+
+    def __enter__(self) -> "PredictionServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- batcher thread ------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(*batch)
+
+    def _next_batch(self):
+        """Pop the next coalesced batch, pinning the model version.
+
+        Blocks until a request is pending, then keeps collecting until
+        the batch is full or the oldest request has waited
+        ``max_wait_ms``.  Returns ``None`` only when the server is
+        closed *and* the queue is drained.
+        """
+        with self._cond:
+            while not self._queue:
+                if not self._running:
+                    return None
+                self._cond.wait()
+            if self._running:
+                deadline = self._queue[0]._enqueued_at + self.max_wait_seconds
+                while len(self._queue) < self.max_batch_size:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not self._running:
+                        break
+                    self._cond.wait(remaining)
+            count = min(len(self._queue), self.max_batch_size)
+            batch = [self._queue.popleft() for _ in range(count)]
+            # Pinned under the same lock swap() assigns under: the whole
+            # batch is served by exactly this (service, version) pair.
+            service, version = self._service, self._version
+            index = self._batch_counter
+            self._batch_counter += 1
+        return batch, service, version, index
+
+    def _execute(self, batch: list[PendingPrediction],
+                 service: CostModelService, version: str,
+                 index: int) -> None:
+        try:
+            runtimes = service.predict_runtime([p.item for p in batch])
+        except Exception as error:
+            # Poisoned batch: fail exactly these requests with the
+            # original error; the batcher survives and the next batch
+            # is served normally.
+            self.stats.add(batches=1, failures=len(batch))
+            for pending in batch:
+                pending._fail(error)
+            return
+        now = time.perf_counter()
+        self.stats.add(batches=1, requests=len(batch))
+        for pending, runtime in zip(batch, runtimes):
+            latency = now - pending._enqueued_at
+            self.stats.observe_latency(latency)
+            pending._resolve(PredictionResponse(
+                runtime=float(runtime), model_version=version,
+                batch_index=index, latency_seconds=latency,
+                tenant=pending.tenant,
+            ))
+
+
+def serve_estimator(estimator: CostEstimator, database: Database,
+                    *, max_batch_size: int = 64, cache_entries: int = 512,
+                    **server_options) -> PredictionServer:
+    """One-call deployment: wrap a fitted estimator in a
+    :class:`CostModelService` and start a :class:`PredictionServer`
+    over it (keyword options are forwarded to the server)."""
+    if not isinstance(estimator, CostEstimator):
+        raise ModelError(
+            "serve_estimator needs a CostEstimator; wrap core models via "
+            "repro.models.get_estimator / ZeroShotEstimator.from_model"
+        )
+    service = CostModelService(estimator, database,
+                               max_batch_size=max_batch_size,
+                               cache_entries=cache_entries)
+    return PredictionServer(service, **server_options)

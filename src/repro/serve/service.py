@@ -27,7 +27,8 @@ bit-identity and a ≥3× throughput win over per-plan prediction.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -40,16 +41,74 @@ from repro.plans.plan import PhysicalPlan
 
 __all__ = ["CostModelService", "ServiceStats"]
 
+#: Per-request latencies retained for the quantile estimates — a
+#: sliding window, so ``latency_p99`` tracks *recent* behaviour instead
+#: of averaging a warm steady state with the cold start.
+LATENCY_WINDOW = 8192
+
 
 @dataclass
 class ServiceStats:
-    """Operational counters of one service instance."""
+    """Operational counters of one service or server instance.
 
-    requests: int = 0        #: plans/queries predicted
-    batches: int = 0         #: model forwards issued
+    All mutation goes through :meth:`add` / :meth:`observe_latency`,
+    which are **thread-safe**: the concurrent front end
+    (:class:`~repro.serve.server.PredictionServer`) increments counters
+    from its batcher thread while any number of client threads read
+    them, and a bare ``+=`` on a shared int is a read-modify-write race
+    under that interleaving.
+    """
+
+    requests: int = 0        #: plans/queries predicted successfully
+    batches: int = 0         #: model forwards / server batches issued
     cache_hits: int = 0      #: encode precomputes served from the LRU
     cache_misses: int = 0    #: encode precomputes computed fresh
     cache_evictions: int = 0
+    rejected: int = 0        #: requests shed by admission control
+    failures: int = 0        #: requests failed by an estimator error
+    swaps: int = 0           #: hot model swaps installed
+
+    def __post_init__(self):
+        self._mutex = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def add(self, **deltas: int) -> None:
+        """Atomically apply counter increments, e.g.
+        ``stats.add(requests=8, batches=1)``."""
+        with self._mutex:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    # -- per-request latency tracking ----------------------------------
+    def observe_latency(self, seconds: float) -> None:
+        """Record one request's submit→response latency."""
+        with self._mutex:
+            self._latencies.append(seconds)
+
+    @property
+    def observed_latencies(self) -> int:
+        """Number of latency samples currently in the window."""
+        with self._mutex:
+            return len(self._latencies)
+
+    def latency_quantile(self, q: float) -> float:
+        """Latency quantile (seconds) over the sliding window; NaN when
+        no request has been observed yet."""
+        with self._mutex:
+            if not self._latencies:
+                return float("nan")
+            samples = np.fromiter(self._latencies, dtype=np.float64)
+        return float(np.quantile(samples, q))
+
+    @property
+    def latency_p50(self) -> float:
+        """Median request latency (seconds) — the SLO gate's midpoint."""
+        return self.latency_quantile(0.5)
+
+    @property
+    def latency_p99(self) -> float:
+        """99th-percentile request latency (seconds) — the SLO bound."""
+        return self.latency_quantile(0.99)
 
     @property
     def hit_rate(self) -> float:
@@ -111,9 +170,9 @@ class CostModelService:
         the request/batch accounting in one place for every prediction
         surface."""
         encoded = [self._encode(item) for item in items]
-        self.stats.requests += len(encoded)
+        self.stats.add(requests=len(encoded))
         for start in range(0, len(encoded), self.max_batch_size):
-            self.stats.batches += 1
+            self.stats.add(batches=1)
             yield encoded[start:start + self.max_batch_size]
 
     def predict_log_runtime(self,
@@ -183,9 +242,9 @@ class CostModelService:
         entry = self._cache.get(key)
         if entry is not None:
             self._cache.move_to_end(key)
-            self.stats.cache_hits += 1
+            self.stats.add(cache_hits=1)
             return entry.encoded
-        self.stats.cache_misses += 1
+        self.stats.add(cache_misses=1)
         # A cache hit skips this entirely: SQL requests save the parse +
         # plan + featurize, plan requests save the featurize.
         plan = item if isinstance(item, PhysicalPlan) \
@@ -195,5 +254,5 @@ class CostModelService:
             self._cache[key] = _CacheEntry(encoded=encoded, source=item)
             while len(self._cache) > self.cache_entries:
                 self._cache.popitem(last=False)
-                self.stats.cache_evictions += 1
+                self.stats.add(cache_evictions=1)
         return encoded

@@ -147,6 +147,36 @@ class TestContract:
         with pytest.raises(ModelError, match="saved estimator"):
             load_estimator(tmp_path)
 
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_peek_manifest_names_saved_estimator(self, name, fitted,
+                                                 tmp_path):
+        """The serving tier's pre-swap hook: the manifest identifies the
+        saved estimator without touching any weights."""
+        from repro.models import peek_manifest
+
+        directory = tmp_path / name
+        fitted[name].save(directory)
+        payload = peek_manifest(directory)
+        assert payload["name"] == name
+
+    def test_peek_manifest_rejects_garbage_and_unloadable(self, fitted,
+                                                          tmp_path):
+        from repro.models import peek_manifest, register_estimator
+
+        with pytest.raises(ModelError, match="saved estimator"):
+            peek_manifest(tmp_path)  # no manifest at all
+        # A manifest naming an estimator with no registered loader is
+        # rejected before load_estimator would fail on it.
+        name = ALL_NAMES[0]
+        directory = tmp_path / "orphan"
+        fitted[name].save(directory)
+        previous = register_estimator(name, None)
+        try:
+            with pytest.raises(ModelError, match="no registered"):
+                peek_manifest(directory)
+        finally:
+            register_estimator(name, previous)
+
 
 class TestWorkloadDrivenSpecifics:
     @pytest.mark.parametrize("name", WORKLOAD_DRIVEN)

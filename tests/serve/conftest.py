@@ -1,0 +1,14 @@
+"""Shared fixtures for the serving-tier suite."""
+
+import pytest
+
+from repro.optimizer import Planner
+from repro.workload import make_benchmark_workload
+
+
+@pytest.fixture(scope="package")
+def serve_plans(tiny_imdb):
+    """A pool of physical plans to serve (planned once, never executed)."""
+    planner = Planner(tiny_imdb)
+    queries = make_benchmark_workload(tiny_imdb, "scale", 16, seed=23)
+    return [planner.plan(query) for query in queries]

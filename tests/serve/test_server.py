@@ -1,0 +1,482 @@
+"""The concurrent multi-tenant front end (``repro.serve.server``).
+
+Concurrency/SLO suite: bit-identity under real thread interleavings,
+thread-safe stats accounting, fault isolation, admission control, and
+the hot-swap protocol.  Every blocking wait carries an explicit
+timeout, so a deadlocked server fails a test instead of hanging the
+run; all randomized interleavings are seeded.  Run with
+``pytest -m concurrency`` (CI adds a hard wall-clock timeout on top).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from serve_stubs import WAIT, GatedStub, LinearCostStub, PoisonStub
+
+from repro.errors import ModelError, Overloaded, ServeError
+from repro.models.api import register_estimator
+from repro.serve import (
+    CostModelService,
+    PredictionServer,
+    ServiceStats,
+    serve_estimator,
+)
+from repro.serve.service import LATENCY_WINDOW
+
+pytestmark = pytest.mark.concurrency
+
+
+def make_service(tiny_imdb, scale=1.0, **kwargs):
+    kwargs.setdefault("max_batch_size", 8)
+    return CostModelService(LinearCostStub(scale), tiny_imdb, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Validation and lifecycle
+# ----------------------------------------------------------------------
+class TestValidationAndLifecycle:
+    def test_requires_service(self):
+        with pytest.raises(ServeError, match="CostModelService"):
+            PredictionServer(LinearCostStub())
+
+    def test_bad_parameters_rejected(self, tiny_imdb):
+        service = make_service(tiny_imdb)
+        with pytest.raises(ServeError):
+            PredictionServer(service, max_batch_size=0)
+        with pytest.raises(ServeError):
+            PredictionServer(service, max_wait_ms=-1.0)
+        with pytest.raises(ServeError):
+            PredictionServer(service, max_queue_depth=0)
+
+    def test_serve_estimator_one_call_deployment(self, tiny_imdb,
+                                                 serve_plans):
+        with serve_estimator(LinearCostStub(), tiny_imdb,
+                             max_batch_size=4) as server:
+            assert server.max_batch_size == 4
+            response = server.predict_runtime(serve_plans[0], timeout=WAIT)
+            assert response.model_version == "v0"
+        with pytest.raises(ModelError, match="CostEstimator"):
+            serve_estimator(object(), tiny_imdb)
+
+    def test_close_drains_and_is_idempotent(self, tiny_imdb, serve_plans):
+        server = PredictionServer(make_service(tiny_imdb),
+                                  max_wait_ms=200.0, max_batch_size=64)
+        pending = [server.submit(p) for p in serve_plans]
+        # Close before the 200 ms flush deadline: the drain must answer
+        # every admitted request without waiting for the batch to fill.
+        server.close()
+        for p in pending:
+            assert p.result(WAIT).runtime > 0
+        assert server.pending == 0
+        assert not server.is_running
+        server.close()  # idempotent
+        with pytest.raises(ServeError, match="closed"):
+            server.submit(serve_plans[0])
+        with pytest.raises(ServeError, match="closed"):
+            server.swap(LinearCostStub(2.0))
+
+    def test_result_timeout_raises_serve_error(self, tiny_imdb,
+                                               serve_plans):
+        stub = GatedStub()
+        service = CostModelService(stub, tiny_imdb, max_batch_size=8)
+        with PredictionServer(service, max_wait_ms=0.0) as server:
+            pending = server.submit(serve_plans[0])
+            assert stub.entered.wait(WAIT)
+            with pytest.raises(ServeError, match="not answered"):
+                pending.result(timeout=0.02)
+            assert not pending.done()
+            stub.release.set()
+            assert pending.result(WAIT).runtime > 0
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: concurrency bit-identity + thread-safe accounting
+# ----------------------------------------------------------------------
+class TestConcurrencyBitIdentity:
+    N_CLIENTS = 8
+    ROUNDS = 5
+
+    def test_interleaved_tenants_bit_identical(self, tiny_imdb,
+                                               serve_plans):
+        """N threads issue interleaved mixed-tenant requests (plans and
+        SQL); every response must equal the serial single-caller
+        ``CostModelService.predict_runtime`` result bit for bit, and
+        the aggregate request counter must equal the sum of per-client
+        counts."""
+        sql = ("SELECT COUNT(*) FROM title t "
+               "WHERE t.production_year > 1990")
+        items = list(serve_plans) + [sql]
+        reference = CostModelService(
+            LinearCostStub(), tiny_imdb).predict_runtime(items)
+        expected = {id(item): reference[i] for i, item in enumerate(items)}
+
+        service = make_service(tiny_imdb)
+        failures = []
+        counts = {}
+        with PredictionServer(service, max_wait_ms=1.0) as server:
+            barrier = threading.Barrier(self.N_CLIENTS)
+
+            def client(cid):
+                rng = np.random.default_rng(cid)
+                barrier.wait(WAIT)
+                served = 0
+                for _ in range(self.ROUNDS):
+                    for index in rng.permutation(len(items)):
+                        item = items[index]
+                        response = server.predict_runtime(
+                            item, tenant=f"tenant-{cid}", timeout=WAIT)
+                        if response.runtime != expected[id(item)]:
+                            failures.append((cid, index, response.runtime))
+                        if response.tenant != f"tenant-{cid}":
+                            failures.append((cid, "tenant", response.tenant))
+                        served += 1
+                counts[cid] = served
+
+            threads = [threading.Thread(target=client, args=(cid,))
+                       for cid in range(self.N_CLIENTS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(WAIT)
+            assert not any(t.is_alive() for t in threads)
+
+            assert not failures
+            total = self.N_CLIENTS * self.ROUNDS * len(items)
+            assert sum(counts.values()) == total
+            # The data race a bare `+=` would lose: aggregate counters
+            # must equal the sum of per-client counts exactly.
+            assert server.stats.requests == total
+            assert server.stats.failures == 0
+            assert server.stats.rejected == 0
+            assert service.stats.requests == total
+            # Cross-client coalescing actually happened: far fewer
+            # forwards than requests once every item is cache-warm.
+            assert server.stats.batches < total
+            assert server.stats.observed_latencies == min(total,
+                                                          LATENCY_WINDOW)
+            assert server.stats.latency_p50 <= server.stats.latency_p99
+
+    def test_service_stats_add_is_thread_safe(self):
+        """Hammer one ServiceStats from many threads: increments must
+        never be lost (this is the regression for the bare `+=` race)."""
+        stats = ServiceStats()
+        threads = 16
+        per_thread = 5_000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait(WAIT)
+            for _ in range(per_thread):
+                stats.add(requests=1, batches=2)
+                stats.observe_latency(0.001)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(WAIT)
+        assert stats.requests == threads * per_thread
+        assert stats.batches == 2 * threads * per_thread
+        assert stats.observed_latencies == LATENCY_WINDOW
+
+    def test_latency_quantiles(self):
+        stats = ServiceStats()
+        assert np.isnan(stats.latency_p50)
+        assert np.isnan(stats.latency_p99)
+        for value in range(1, 101):
+            stats.observe_latency(value / 1000.0)
+        assert stats.latency_p50 == pytest.approx(0.0505)
+        assert stats.latency_p99 == pytest.approx(0.09901)
+        assert stats.latency_quantile(1.0) == pytest.approx(0.1)
+
+    def test_bit_identity_with_registered_estimator(self, tiny_imdb):
+        """Same property through a real registered estimator (the
+        closed-form scaled-optimizer-cost baseline, trained on an
+        executed workload)."""
+        from repro.models import get_estimator
+        from repro.workload import WorkloadRunner, make_benchmark_workload
+
+        runner = WorkloadRunner(tiny_imdb, seed=31)
+        executed = runner.run(
+            make_benchmark_workload(tiny_imdb, "scale", 10, seed=31))
+        estimator = get_estimator("scaled-optimizer-cost").fit(
+            executed, tiny_imdb)
+        plans = [record.plan for record in executed]
+        reference = estimator.predict_runtime(plans, tiny_imdb)
+
+        results = {}
+        with serve_estimator(estimator, tiny_imdb, max_batch_size=4,
+                             max_wait_ms=1.0) as server:
+            def client(cid):
+                results[cid] = [
+                    server.predict_runtime(plan, timeout=WAIT).runtime
+                    for plan in plans
+                ]
+            threads = [threading.Thread(target=client, args=(cid,))
+                       for cid in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(WAIT)
+        for served in results.values():
+            np.testing.assert_array_equal(np.asarray(served), reference)
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: fault injection
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_poisoned_batch_fails_alone(self, tiny_imdb, serve_plans):
+        """An estimator error mid-batch fails exactly the requests in
+        the poisoned batch with the original error; the server keeps
+        serving and its accounting stays consistent."""
+        stub = PoisonStub()
+        poison = serve_plans[0]
+        stub.poisoned.add(float(poison.total_cost))
+        service = CostModelService(stub, tiny_imdb, max_batch_size=4)
+        # Long max_wait so the four submitted requests deterministically
+        # coalesce into one full batch before any flush.
+        with PredictionServer(service, max_batch_size=4,
+                              max_wait_ms=2_000.0) as server:
+            victims = [server.submit(plan, tenant="victim")
+                       for plan in [poison] + list(serve_plans[1:4])]
+            errors = []
+            for pending in victims:
+                with pytest.raises(ModelError,
+                                   match="injected mid-batch") as excinfo:
+                    pending.result(WAIT)
+                errors.append(excinfo.value)
+            # Every member of the poisoned batch got the *original*
+            # exception object, not a re-wrapped copy.
+            assert all(error is errors[0] for error in errors)
+
+            assert server.stats.failures == 4
+            assert server.stats.requests == 0
+            assert server.pending == 0
+            assert server.is_running
+
+            # The very next batch is served normally.
+            survivors = [server.submit(plan, tenant="survivor")
+                         for plan in serve_plans[4:8]]
+            reference = CostModelService(
+                LinearCostStub(), tiny_imdb).predict_runtime(
+                    serve_plans[4:8])
+            served = np.asarray([p.result(WAIT).runtime
+                                 for p in survivors])
+            np.testing.assert_array_equal(served, reference)
+            assert server.stats.failures == 4
+            assert server.stats.requests == 4
+            assert server.stats.batches == 2
+            assert server.pending == 0
+
+    def test_unpoisoned_traffic_unaffected_after_failure(self, tiny_imdb,
+                                                         serve_plans):
+        stub = PoisonStub()
+        stub.poisoned.add(float(serve_plans[0].total_cost))
+        service = CostModelService(stub, tiny_imdb, max_batch_size=8)
+        with PredictionServer(service, max_wait_ms=0.5) as server:
+            with pytest.raises(ModelError):
+                server.predict_runtime(serve_plans[0], timeout=WAIT)
+            for _ in range(3):
+                response = server.predict_runtime(serve_plans[1],
+                                                  timeout=WAIT)
+                assert response.runtime > 0
+            assert server.stats.requests == 3
+            assert server.stats.failures >= 1
+
+
+# ----------------------------------------------------------------------
+# Admission control / load shedding
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_overloaded_rejection_at_queue_bound(self, tiny_imdb,
+                                                 serve_plans):
+        """With the batcher held busy inside a forward, submissions
+        beyond ``max_queue_depth`` are shed with ``Overloaded``
+        immediately — and every *admitted* request is still served."""
+        stub = GatedStub()
+        service = CostModelService(stub, tiny_imdb, max_batch_size=8)
+        with PredictionServer(service, max_wait_ms=0.0,
+                              max_queue_depth=3) as server:
+            first = server.submit(serve_plans[0])
+            assert stub.entered.wait(WAIT)  # batcher now blocked mid-batch
+            admitted = [server.submit(plan)
+                        for plan in serve_plans[1:4]]  # fills the queue
+            assert server.pending == 3
+            with pytest.raises(Overloaded, match="back off"):
+                server.submit(serve_plans[4])
+            with pytest.raises(Overloaded):
+                server.predict_runtime(serve_plans[5])
+            assert server.stats.rejected == 2
+
+            stub.release.set()
+            for pending in [first] + admitted:
+                assert pending.result(WAIT).runtime > 0
+            assert server.stats.requests == 4
+            assert server.pending == 0
+
+    def test_shed_load_recovers(self, tiny_imdb, serve_plans):
+        """After shedding, the server accepts traffic again as soon as
+        the queue drains — rejection is stateless."""
+        stub = GatedStub()
+        service = CostModelService(stub, tiny_imdb, max_batch_size=8)
+        with PredictionServer(service, max_wait_ms=0.0,
+                              max_queue_depth=1) as server:
+            first = server.submit(serve_plans[0])
+            assert stub.entered.wait(WAIT)
+            queued = server.submit(serve_plans[1])
+            with pytest.raises(Overloaded):
+                server.submit(serve_plans[2])
+            stub.release.set()
+            first.result(WAIT)
+            queued.result(WAIT)
+            assert server.predict_runtime(serve_plans[2],
+                                          timeout=WAIT).runtime > 0
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: hot model swap
+# ----------------------------------------------------------------------
+class TestHotSwap:
+    def test_swap_estimator_and_version_tags(self, tiny_imdb, serve_plans):
+        service = make_service(tiny_imdb, scale=1.0)
+        reference = {
+            scale: CostModelService(LinearCostStub(scale),
+                                    tiny_imdb).predict_runtime(
+                                        serve_plans[:1])[0]
+            for scale in (1.0, 2.0)
+        }
+        with PredictionServer(service, max_wait_ms=0.5) as server:
+            before = server.predict_runtime(serve_plans[0], timeout=WAIT)
+            assert before.model_version == "v0"
+            np.testing.assert_array_equal(before.runtime, reference[1.0])
+
+            tag = server.swap(LinearCostStub(2.0))
+            assert tag == "v1"
+            assert server.model_version == "v1"
+            after = server.predict_runtime(serve_plans[0], timeout=WAIT)
+            assert after.model_version == "v1"
+            np.testing.assert_array_equal(after.runtime, reference[2.0])
+            assert server.stats.swaps == 1
+
+            assert server.swap(LinearCostStub(3.0), version="canary") \
+                == "canary"
+            assert server.predict_runtime(
+                serve_plans[0], timeout=WAIT).model_version == "canary"
+
+    def test_swap_from_saved_manifest(self, tiny_imdb, serve_plans,
+                                      tmp_path):
+        """The deployment path: a newly saved estimator is hot-loaded
+        from disk through the ``load_estimator`` manifests."""
+        register_estimator(LinearCostStub.name, LinearCostStub)
+        try:
+            directory = tmp_path / "fine-tuned"
+            LinearCostStub(4.0).save(directory)
+            service = make_service(tiny_imdb, scale=1.0)
+            reference = CostModelService(
+                LinearCostStub(4.0), tiny_imdb).predict_runtime(serve_plans)
+            with PredictionServer(service) as server:
+                tag = server.swap(directory, warm=serve_plans)
+                assert tag == f"{LinearCostStub.name}@fine-tuned"
+                # The swapped-in service was warmed before installation.
+                assert server.service.cached_plans == len(serve_plans)
+                response = server.predict_runtime(serve_plans[0],
+                                                  timeout=WAIT)
+                assert response.model_version == tag
+                np.testing.assert_array_equal(response.runtime,
+                                              reference[0])
+        finally:
+            register_estimator(LinearCostStub.name, None)
+
+    def test_swap_rejects_garbage_directory(self, tiny_imdb, serve_plans,
+                                            tmp_path):
+        service = make_service(tiny_imdb)
+        with PredictionServer(service) as server:
+            with pytest.raises(ModelError, match="saved estimator"):
+                server.swap(tmp_path)  # no manifest at all
+            # A manifest naming an unloadable estimator is caught by
+            # peek_manifest before any weights are touched.
+            LinearCostStub(2.0).save(tmp_path / "unregistered")
+            with pytest.raises(ModelError, match="no registered"):
+                server.swap(tmp_path / "unregistered")
+            # Failed swaps leave the installed model untouched.
+            assert server.model_version == "v0"
+            assert server.stats.swaps == 0
+            assert server.predict_runtime(serve_plans[0],
+                                          timeout=WAIT).runtime > 0
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_hot_swap_property_under_load(self, tiny_imdb, serve_plans,
+                                          seed):
+        """Randomly interleave swaps with request streams: every
+        response is tagged with exactly one model version (and its
+        value proves the tag), no request is dropped, and no batch
+        mixes versions."""
+        scales = {"v0": 1.0, "v1": 2.0, "v2": 3.0, "v3": 5.0}
+        expected = {}
+        for version, scale in scales.items():
+            direct = CostModelService(LinearCostStub(scale),
+                                      tiny_imdb).predict_runtime(serve_plans)
+            expected[version] = {id(plan): direct[i]
+                                 for i, plan in enumerate(serve_plans)}
+
+        n_clients, per_client = 4, 30
+        service = make_service(tiny_imdb, scale=scales["v0"])
+        responses = []
+        responses_lock = threading.Lock()
+        with PredictionServer(service, max_batch_size=8,
+                              max_wait_ms=1.0) as server:
+            barrier = threading.Barrier(n_clients + 1)
+
+            def client(cid):
+                rng = np.random.default_rng((seed, cid))
+                barrier.wait(WAIT)
+                mine = []
+                for _ in range(per_client):
+                    plan = serve_plans[rng.integers(len(serve_plans))]
+                    mine.append((plan,
+                                 server.predict_runtime(plan,
+                                                        timeout=WAIT)))
+                    if rng.random() < 0.2:
+                        time.sleep(rng.random() / 2000.0)
+                with responses_lock:
+                    responses.extend(mine)
+
+            def swapper():
+                rng = np.random.default_rng((seed, 104729))
+                barrier.wait(WAIT)
+                for version in ["v1", "v2", "v3"]:
+                    time.sleep(rng.random() / 100.0)
+                    server.swap(LinearCostStub(scales[version]),
+                                version=version)
+
+            threads = [threading.Thread(target=client, args=(cid,))
+                       for cid in range(n_clients)]
+            threads.append(threading.Thread(target=swapper))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(WAIT)
+            assert not any(t.is_alive() for t in threads)
+
+            # Zero dropped requests.
+            assert len(responses) == n_clients * per_client
+            assert server.stats.requests == n_clients * per_client
+            assert server.pending == 0
+            assert server.stats.swaps == 3
+
+            # Exactly one version per response, and the *value* matches
+            # the tagged version bit for bit.
+            batch_versions = {}
+            for plan, response in responses:
+                assert response.model_version in scales
+                np.testing.assert_array_equal(
+                    response.runtime,
+                    expected[response.model_version][id(plan)])
+                batch_versions.setdefault(response.batch_index,
+                                          set()).add(response.model_version)
+            # No batch mixes versions.
+            assert all(len(versions) == 1
+                       for versions in batch_versions.values())

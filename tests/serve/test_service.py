@@ -1,10 +1,15 @@
 """The batched, caching prediction service (``repro.serve``)."""
 
+import gc
+import weakref
+
 import numpy as np
 import pytest
+from serve_stubs import LinearCostStub
 
 from repro.errors import ModelError
 from repro.models import TrainerConfig, get_estimator
+from repro.optimizer import Planner
 from repro.serve import CostModelService
 from repro.sql import parse_query
 from repro.workload import WorkloadRunner, make_benchmark_workload
@@ -133,6 +138,100 @@ class TestBatchingAndCache:
         service.clear_cache()
         assert service.cached_plans == 0
         assert service.warm(plans) == 5
+
+
+class TestCacheRegressions:
+    """LRU regression suite: eviction order and bound, ``warm()`` hit
+    accounting, and the ``_CacheEntry.source`` id-pinning guarantee.
+
+    Runs on the closed-form stub — the cache is estimator-independent
+    and these must stay cheap enough to run on every change.
+    """
+
+    def test_eviction_is_lru_not_fifo(self, tiny_imdb, serve_plans):
+        service = CostModelService(LinearCostStub(), tiny_imdb,
+                                   cache_entries=2)
+        a, b, c = serve_plans[:3]
+        service.predict_runtime([a, b])
+        service.predict_runtime([a])     # touch a → b becomes the LRU
+        service.predict_runtime([c])     # evicts b, not a
+        assert service.stats.cache_evictions == 1
+        hits = service.stats.cache_hits
+        service.predict_runtime([a])
+        assert service.stats.cache_hits == hits + 1      # a survived
+        misses = service.stats.cache_misses
+        service.predict_runtime([b])
+        assert service.stats.cache_misses == misses + 1  # b was evicted
+
+    def test_eviction_at_bound_of_one(self, tiny_imdb, serve_plans):
+        service = CostModelService(LinearCostStub(), tiny_imdb,
+                                   cache_entries=1)
+        for plan in serve_plans[:4]:
+            service.predict_runtime([plan])
+        assert service.cached_plans == 1
+        assert service.stats.cache_evictions == 3
+        # The survivor is the most recently used entry.
+        service.predict_runtime([serve_plans[3]])
+        assert service.stats.cache_hits == 1
+
+    def test_warm_hit_accounting(self, tiny_imdb, serve_plans):
+        service = CostModelService(LinearCostStub(), tiny_imdb,
+                                   cache_entries=64)
+        plans = serve_plans[:5]
+        assert service.warm(plans) == 5
+        assert service.stats.cache_misses == 5
+        assert service.stats.cache_hits == 0
+        # Re-warming is pure hits and reports zero fresh encodes.
+        assert service.warm(plans) == 0
+        assert service.stats.cache_hits == 5
+        # warm() never issues model forwards or counts requests.
+        assert service.stats.requests == 0
+        assert service.stats.batches == 0
+        service.predict_runtime(plans)
+        assert service.stats.cache_hits == 10
+        assert service.stats.requests == 5
+
+    def test_cache_entry_source_pins_plan_identity(self, tiny_imdb):
+        """A cached plan freed by its caller must stay alive while its
+        encoding is cached: identity keys (``("plan", id)``) would
+        silently alias if the id were recycled by a new plan object."""
+        planner = Planner(tiny_imdb)
+        queries = make_benchmark_workload(tiny_imdb, "scale", 2, seed=91)
+        plan = planner.plan(queries[0])
+        pinned_id = id(plan)
+        service = CostModelService(LinearCostStub(), tiny_imdb,
+                                   cache_entries=8)
+        service.warm([plan])
+        ref = weakref.ref(plan)
+        del plan
+        gc.collect()
+        # Still pinned by _CacheEntry.source...
+        assert ref() is not None
+        # ...so no newly allocated plan can take the cached id and
+        # alias the entry: the id is provably a cache miss for it.
+        other = planner.plan(queries[1])
+        assert id(other) != pinned_id
+        service.predict_runtime([other])
+        assert service.stats.cache_hits == 0
+        # The pin is released exactly when the entry is dropped.
+        service.clear_cache()
+        gc.collect()
+        assert ref() is None
+
+    def test_eviction_releases_the_pin(self, tiny_imdb, serve_plans):
+        service = CostModelService(LinearCostStub(), tiny_imdb,
+                                   cache_entries=1)
+        planner = Planner(tiny_imdb)
+        plan = planner.plan(make_benchmark_workload(tiny_imdb, "scale", 1,
+                                                    seed=93)[0])
+        service.warm([plan])
+        ref = weakref.ref(plan)
+        del plan
+        gc.collect()
+        assert ref() is not None
+        service.warm([serve_plans[0]])   # evicts the pinned entry
+        gc.collect()
+        assert ref() is None
 
 
 class TestOtherEstimators:

@@ -13,6 +13,7 @@ SUBPACKAGES = ["repro.db", "repro.sql", "repro.plans", "repro.engine",
                "repro.featurize", "repro.models", "repro.models.api",
                "repro.models.cardinality",
                "repro.workload", "repro.tuning", "repro.serve",
+               "repro.serve.server",
                "repro.experiments"]
 
 
