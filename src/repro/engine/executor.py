@@ -315,10 +315,18 @@ class Executor:
     # Scans
     # ------------------------------------------------------------------
     def _base_relation(self, data: TableData, alias: str,
-                       row_indices: np.ndarray | None = None) -> Relation:
+                       row_indices: np.ndarray | None = None,
+                       projection: tuple[str, ...] | None = None) -> Relation:
+        """Materialize a base table (optionally a row subset).
+
+        ``projection`` restricts the materialized columns — the rewrite
+        phase's pruning rule guarantees it covers every column the plan
+        above reads.  ``None`` materializes all columns.
+        """
         columns = {}
         null_masks = {}
-        for name in data.table.column_names:
+        names = data.table.column_names if projection is None else projection
+        for name in names:
             values = data.column_values(name)
             key = f"{alias}.{name}"
             columns[key] = values if row_indices is None else values[row_indices]
@@ -341,7 +349,8 @@ class Executor:
 
     def _seq_scan(self, node: SeqScan) -> Relation:
         data = self.database.table_data(node.table.table_name)
-        relation = self._base_relation(data, node.table.name)
+        relation = self._base_relation(data, node.table.name,
+                                       projection=node.projection)
         return self._apply_filters(relation, node.table.name, node.filters)
 
     def _index_scan(self, node: IndexScan, outer_keys: np.ndarray | None = None
@@ -375,12 +384,14 @@ class Executor:
                 positions = np.repeat(starts, counts) + within
                 row_indices = index._sorted_order[positions]
                 outer_indices = np.repeat(np.arange(len(outer_keys)), counts)
-            relation = self._base_relation(data, node.table.name, row_indices)
+            relation = self._base_relation(data, node.table.name, row_indices,
+                                           projection=node.projection)
             relation = self._tag_outer(relation, outer_indices)
         else:
             low, high, low_inc, high_inc = _index_range(node.index_predicates)
             row_indices = index.range_lookup(low, high, low_inc, high_inc)
-            relation = self._base_relation(data, node.table.name, row_indices)
+            relation = self._base_relation(data, node.table.name, row_indices,
+                                           projection=node.projection)
 
         return self._apply_filters(relation, node.table.name,
                                    node.residual_filters)

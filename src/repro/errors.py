@@ -50,6 +50,21 @@ class OptimizerError(ReproError):
     """The planner could not produce a plan for a query."""
 
 
+class PlannerError(OptimizerError):
+    """The planner (or its logical rewrite phase) was misconfigured or
+    failed to converge.
+
+    ``trace`` optionally carries the
+    :class:`~repro.optimizer.rewrite.RewriteTrace` accumulated up to the
+    failure (e.g. when the rewrite fixpoint loop hits its iteration
+    cap), so callers can see which rules kept firing.
+    """
+
+    def __init__(self, message: str, *, trace=None):
+        super().__init__(message)
+        self.trace = trace
+
+
 class ExecutionError(ReproError):
     """The executor failed to evaluate a plan."""
 

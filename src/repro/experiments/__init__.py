@@ -14,6 +14,8 @@
   databases" observation.
 * :mod:`~repro.experiments.fewshot_exp` — few-shot fine-tuning vs
   workload-driven training from scratch.
+* :mod:`~repro.experiments.rewrite_ablation` — what the logical
+  rewrite phase buys (intermediate rows, scan widths, plan cost).
 * :mod:`~repro.experiments.report` — plain-text rendering of results.
 
 Every driver accepts an :class:`~repro.experiments.setup.ExperimentScale`
@@ -35,6 +37,10 @@ from repro.experiments.learning_curve import (
     LearningCurveResult,
     run_learning_curve,
 )
+from repro.experiments.rewrite_ablation import (
+    RewriteAblationResult,
+    run_rewrite_ablation,
+)
 from repro.experiments.table1 import Table1Result, run_table1
 
 def __getattr__(name):
@@ -54,11 +60,13 @@ __all__ = [
     "FewShotResult",
     "Figure3Result",
     "LearningCurveResult",
+    "RewriteAblationResult",
     "Table1Result",
     "build_context",
     "run_cardinality",
     "run_fewshot",
     "run_figure3",
     "run_learning_curve",
+    "run_rewrite_ablation",
     "run_table1",
 ]

@@ -12,13 +12,28 @@ Provides the three things the paper's pipeline takes from Postgres:
 What-if planning with hypothetical indexes (Section 4.1) lives in
 :mod:`repro.optimizer.whatif`; learned cardinality injection (the
 zero-shot cardinality head driving the same DP search) in
-:mod:`repro.optimizer.learned_cardinality`.
+:mod:`repro.optimizer.learned_cardinality`; the rule-based logical
+rewrite phase (predicate pushdown, filter merge, transitive join
+inference, projection pruning — behind
+``PlannerOptions(enable_rewrites=True)``) in
+:mod:`repro.optimizer.rewrite`.
 """
 
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost_model import CostModel, CostParameters
 from repro.optimizer.learned_cardinality import LearnedCardinalityEstimator
-from repro.optimizer.planner import Planner, plan_query
+from repro.optimizer.planner import Planner, PlannerOptions, plan_query
+from repro.optimizer.rewrite import (
+    RewritePlanner,
+    RewriteResult,
+    RewriteRule,
+    RewriteTrace,
+    RuleRegistry,
+    available_rewrite_rules,
+    register_rewrite_rule,
+    reset_rewrite_rules,
+    unregister_rewrite_rule,
+)
 from repro.optimizer.selectivity import estimate_predicate_selectivity
 from repro.optimizer.whatif import WhatIfPlanner
 
@@ -28,7 +43,17 @@ __all__ = [
     "CostParameters",
     "LearnedCardinalityEstimator",
     "Planner",
+    "PlannerOptions",
+    "RewritePlanner",
+    "RewriteResult",
+    "RewriteRule",
+    "RewriteTrace",
+    "RuleRegistry",
     "WhatIfPlanner",
+    "available_rewrite_rules",
     "estimate_predicate_selectivity",
     "plan_query",
+    "register_rewrite_rule",
+    "reset_rewrite_rules",
+    "unregister_rewrite_rule",
 ]

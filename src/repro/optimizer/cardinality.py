@@ -70,8 +70,16 @@ class CardinalityEstimator:
         """Estimated cardinality of the join over ``aliases``.
 
         Product of filtered base cardinalities times the selectivity of
-        every join edge internal to the set.  Consistent across all join
-        orders (the classical System-R property).
+        the join edges internal to the set, restricted to a spanning
+        forest of the column equivalence classes.  On acyclic join
+        graphs every internal edge is in the forest, so this is the
+        classical System-R product, bit-for-bit.  On rewritten queries
+        the transitive-join rule adds redundant edges (``a=c`` next to
+        ``a=b AND b=c``); counting them again would square selectivities
+        and underestimate, so edges whose endpoint columns are already
+        connected are skipped.  Edges are visited in ``query.joins``
+        order (originals precede derived ones), keeping the estimate
+        consistent across all join orders.
         """
         missing = aliases - set(query.table_names)
         if missing:
@@ -83,8 +91,21 @@ class CardinalityEstimator:
         # corpora, golden encodings).
         for alias in sorted(aliases):
             rows *= self.scan_rows(query, alias)
+        parent: dict = {}
+
+        def find(column):
+            parent.setdefault(column, column)
+            while parent[column] != column:
+                parent[column] = parent[parent[column]]
+                column = parent[column]
+            return column
+
         for join in query.joins:
             if join.left.table in aliases and join.right.table in aliases:
+                left_root, right_root = find(join.left), find(join.right)
+                if left_root == right_root:
+                    continue  # redundant within an equivalence class
+                parent[left_root] = right_root
                 rows *= self.join_selectivity(query, join)
         return max(rows, 1.0)
 

@@ -228,6 +228,14 @@ class LearnedCardinalityEstimator(CardinalityEstimator):
         order the enumerator happens to probe.  Heuristic row estimates
         annotate every node — exactly the ESTIMATED-source features the
         head was trained to correct.
+
+        Rewritten queries (``enable_rewrites``) may carry a transitively
+        closed, cyclic edge set.  Canonicalization still holds:
+        ``joins_between(...)[0]`` picks the earliest edge in
+        ``query.joins`` order, and the rewrite phase appends derived
+        edges *after* the originals, so fragment plans prefer original
+        FK edges and only use a derived edge where it alone connects
+        the fragment (which is precisely when it unlocks a new order).
         """
         order = sorted(aliases)
         current = self._scan_node(query, order[0])

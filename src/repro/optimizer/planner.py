@@ -21,6 +21,7 @@ from repro.errors import OptimizerError
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost_model import CostModel, CostParameters
 from repro.optimizer.join_order import enumerate_join_orders
+from repro.optimizer.rewrite import RewritePlanner, RewriteTrace
 from repro.plans.operators import (
     HashAggregate,
     HashBuild,
@@ -47,7 +48,14 @@ _INDEXABLE_OPS = (ComparisonOperator.EQ, ComparisonOperator.LT,
 
 @dataclass(frozen=True)
 class PlannerOptions:
-    """Operator toggles (like Postgres' ``enable_*`` GUCs) and cost knobs."""
+    """Operator toggles (like Postgres' ``enable_*`` GUCs) and cost knobs.
+
+    ``enable_rewrites`` turns on the logical rewrite phase
+    (:mod:`repro.optimizer.rewrite`) in front of the cost-based search;
+    ``disabled_rules`` names registered rules to skip (unknown names
+    raise eagerly at planner construction).  With rewrites off the
+    planner is bit-identical to the pre-rewrite pipeline.
+    """
 
     enable_seqscan: bool = True
     enable_indexscan: bool = True
@@ -55,6 +63,8 @@ class PlannerOptions:
     enable_mergejoin: bool = True
     enable_nestloop: bool = True
     use_hypothetical_indexes: bool = True
+    enable_rewrites: bool = False
+    disabled_rules: tuple[str, ...] = ()
     cost_parameters: CostParameters = field(default_factory=CostParameters)
 
 
@@ -84,14 +94,45 @@ class Planner:
         self.estimator = cardinality_estimator or \
             CardinalityEstimator(database)
         self.cost_model = CostModel(database, self.options.cost_parameters)
+        #: Trace of the rewrite phase for the most recent :meth:`plan`
+        #: call (also stored in ``plan.metadata["rewrite_trace"]``);
+        #: ``None`` when rewrites are disabled.
+        self.last_rewrite_trace: RewriteTrace | None = None
+        #: alias -> kept columns from projection pruning, consumed by
+        #: :meth:`_table_width` and the scan builders.  Empty when
+        #: rewrites are off, so the legacy path is untouched.
+        self._scan_columns: dict[str, tuple[str, ...]] = {}
+        # Constructed even when enable_rewrites is False so a typo'd
+        # disabled_rules entry fails eagerly, mirroring resolve_backend.
+        self._rewriter: RewritePlanner | None = None
+        if self.options.enable_rewrites or self.options.disabled_rules:
+            self._rewriter = RewritePlanner(
+                schema=database.schema,
+                disabled_rules=self.options.disabled_rules,
+            )
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def plan(self, query: Query) -> PhysicalPlan:
-        """Produce the cheapest physical plan for ``query``."""
+        """Produce the cheapest physical plan for ``query``.
+
+        With ``enable_rewrites`` the *original* query is validated,
+        then the rewrite phase runs and the search plans the rewritten
+        query (which may be cyclic from transitive join inference and
+        is therefore never re-validated).
+        """
         self.cost_model.validate()
         validate_query(self.database.schema, query)
+
+        trace = None
+        self._scan_columns = {}
+        if self.options.enable_rewrites and self._rewriter is not None:
+            result = self._rewriter.rewrite(query)
+            query = result.query
+            trace = result.trace
+            self._scan_columns = result.scan_columns
+        self.last_rewrite_trace = trace
 
         if len(query.tables) == 1:
             best = self._best_scan(query, query.tables[0].name)
@@ -103,15 +144,21 @@ class Planner:
                 better=lambda a, b: a.cost < b.cost,
             )
         root = self._add_aggregation(query, best)
-        return PhysicalPlan(root=root.node, query=query,
+        plan = PhysicalPlan(root=root.node, query=query,
                             database_name=self.database.name)
+        if trace is not None:
+            plan.metadata["rewrite_trace"] = trace
+        return plan
 
     # ------------------------------------------------------------------
     # Scans
     # ------------------------------------------------------------------
     def _table_width(self, query: Query, alias: str) -> float:
         table = self.database.schema.table(query.table_ref(alias).table_name)
-        return float(table.tuple_width_bytes)
+        kept = self._scan_columns.get(alias)
+        if kept is None:
+            return float(table.tuple_width_bytes)
+        return float(sum(table.column(name).width_bytes for name in kept))
 
     def _scan_candidates(self, query: Query, alias: str) -> list[_SubPlan]:
         table_name = query.table_ref(alias).table_name
@@ -119,10 +166,12 @@ class Planner:
         predicates = query.predicates_on(alias)
         width = self._table_width(query, alias)
         out_rows = self.estimator.scan_rows(query, alias)
+        projection = self._scan_columns.get(alias)
         candidates: list[_SubPlan] = []
 
         if self.options.enable_seqscan or not self._usable_indexes(query, alias):
-            node = SeqScan(table=table_ref, filters=predicates)
+            node = SeqScan(table=table_ref, filters=predicates,
+                           projection=projection)
             node.est_rows = out_rows
             node.est_width = width
             node.est_cost = self.cost_model.seq_scan_cost(
@@ -141,6 +190,7 @@ class Planner:
                     index_column=index.column_name,
                     index_predicates=index_preds,
                     residual_filters=residual,
+                    projection=projection,
                 )
                 node.est_rows = out_rows
                 node.est_width = width
@@ -284,6 +334,7 @@ class Planner:
                     index_column=index.column_name,
                     residual_filters=query.predicates_on(inner_alias),
                     lookup_column=outer_key,
+                    projection=self._scan_columns.get(inner_alias),
                 )
                 # Total matched rows across all outer loops equals the
                 # join cardinality before the inner residual filters; we

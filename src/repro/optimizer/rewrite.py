@@ -1,0 +1,879 @@
+"""Rule-based logical rewrite phase.
+
+The planner normally goes straight from the parsed query to DP join
+enumeration; every scan drags its full predicate set and every
+intermediate carries the full tuple width.  This module adds a logical
+rewrite phase in front of the cost-based search, in the style of
+DBSim's rule objects: rules match an operand pattern over a small
+logical operator tree and return a transformed tree (or ``None`` when
+they do not apply), and a :class:`RewritePlanner` applies every
+registered rule until fixpoint, guarded by a hard firing cap.
+
+Pieces
+------
+
+* A logical operator tree (:class:`LogicalScan`, :class:`LogicalFilter`,
+  :class:`LogicalJoin`, :class:`LogicalAggregate`) built canonically
+  from a :class:`~repro.sql.ast.Query` by :func:`build_logical_plan`
+  and lowered back to a flat query (plus per-scan projection lists) by
+  :func:`lower_logical_plan`.
+* The :class:`RewriteRule` protocol and :class:`RuleRegistry`, plus the
+  module-level registry functions (:func:`register_rewrite_rule`,
+  :func:`available_rewrite_rules`, :func:`reset_rewrite_rules`)
+  following the ``register_join_kernel`` / ``register_estimator``
+  idiom: duplicate registration and unknown names fail eagerly with
+  the available-rule list.
+* Four built-in rules: predicate pushdown, filter merge, transitive
+  join-condition inference and projection pruning.
+* :class:`RewritePlanner`: fixpoint application with a hard cap and a
+  per-query :class:`RewriteTrace` (which rules fired, in what order,
+  node counts before/after).
+
+Correctness notes
+-----------------
+
+Transitive inference can make the join graph cyclic (``a=b``, ``b=c``
+implies ``a=c``).  That is safe because derived conditions stay within
+one column equivalence class: the executor applies exactly one
+condition per component merge, and any spanning tree over a class'
+closure enforces the same row set as the original tree edges.  The
+planner never re-validates rewritten queries (validation enforces the
+acyclic invariant on *input* queries only), and
+``CardinalityEstimator.joined_rows`` multiplies selectivities over a
+spanning forest so redundant derived edges are not double counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.db.schema import Schema
+from repro.errors import PlannerError
+from repro.sql.ast import (
+    ColumnRef,
+    ComparisonOperator,
+    JoinCondition,
+    Predicate,
+    Query,
+    join_column_classes,
+)
+
+__all__ = [
+    "LogicalNode",
+    "LogicalScan",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalAggregate",
+    "RewriteContext",
+    "RewriteRule",
+    "RuleFiring",
+    "RewriteTrace",
+    "RewriteResult",
+    "RuleRegistry",
+    "RewritePlanner",
+    "PredicatePushdownRule",
+    "FilterMergeRule",
+    "TransitiveJoinRule",
+    "ProjectionPruningRule",
+    "build_logical_plan",
+    "lower_logical_plan",
+    "walk_logical",
+    "count_logical_nodes",
+    "logical_plan_repr",
+    "merge_conjunction",
+    "register_rewrite_rule",
+    "unregister_rewrite_rule",
+    "available_rewrite_rules",
+    "reset_rewrite_rules",
+    "default_rule_registry",
+]
+
+#: Hard cap on total rule firings per query.  Well-behaved rules reach
+#: fixpoint in a handful of firings; the cap exists to turn a
+#: misbehaving rule (fires forever on its own output) into a
+#: :class:`PlannerError` carrying the trace instead of a hang.
+MAX_RULE_FIRINGS = 64
+
+
+# ----------------------------------------------------------------------
+# Logical operator tree
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LogicalNode:
+    """Base class for logical operators.  Immutable; rules rebuild."""
+
+    children: tuple["LogicalNode", ...] = field(default=(), kw_only=True)
+
+    @property
+    def operator_name(self) -> str:
+        return type(self).__name__
+
+    def label(self) -> str:
+        return self.operator_name
+
+
+@dataclass(frozen=True)
+class LogicalScan(LogicalNode):
+    """A base-table access.  ``columns=None`` means all columns."""
+
+    alias: str
+    table_name: str
+    predicates: tuple[Predicate, ...] = ()
+    columns: tuple[str, ...] | None = None
+
+    def label(self) -> str:
+        parts = [f"Scan {self.table_name}"]
+        if self.alias != self.table_name:
+            parts.append(f"as {self.alias}")
+        if self.predicates:
+            parts.append("[" + " AND ".join(str(p) for p in self.predicates) + "]")
+        if self.columns is not None:
+            parts.append("cols(" + ", ".join(self.columns) + ")")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class LogicalFilter(LogicalNode):
+    """A conjunction of predicates over one child."""
+
+    predicates: tuple[Predicate, ...]
+
+    def label(self) -> str:
+        return "Filter [" + " AND ".join(str(p) for p in self.predicates) + "]"
+
+
+@dataclass(frozen=True)
+class LogicalJoin(LogicalNode):
+    """An n-ary equi-join: children are the joined inputs, conditions
+    the full (possibly transitively closed) edge set."""
+
+    conditions: tuple[JoinCondition, ...]
+
+    def label(self) -> str:
+        return "Join [" + " AND ".join(str(c) for c in self.conditions) + "]"
+
+
+@dataclass(frozen=True)
+class LogicalAggregate(LogicalNode):
+    """SELECT-list aggregates with optional GROUP BY."""
+
+    aggregates: tuple = ()
+    group_by: tuple[ColumnRef, ...] = ()
+
+    def label(self) -> str:
+        inner = ", ".join(str(a) for a in self.aggregates) or "COUNT(*)"
+        if self.group_by:
+            inner += " GROUP BY " + ", ".join(str(c) for c in self.group_by)
+        return f"Aggregate {inner}"
+
+
+def walk_logical(root: LogicalNode) -> Iterator[LogicalNode]:
+    """Depth-first pre-order traversal of a logical tree."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def count_logical_nodes(root: LogicalNode) -> int:
+    return sum(1 for _ in walk_logical(root))
+
+
+def logical_plan_repr(root: LogicalNode) -> str:
+    """Indented multi-line rendering (for goldens and debugging)."""
+    lines: list[str] = []
+
+    def visit(node: LogicalNode, depth: int) -> None:
+        lines.append("  " * depth + node.label())
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def replace_logical_node(root: LogicalNode, target: LogicalNode,
+                         replacement: LogicalNode) -> LogicalNode:
+    """Rebuild ``root`` with ``target`` (by identity) swapped out."""
+    if root is target:
+        return replacement
+    changed = False
+    new_children = []
+    for child in root.children:
+        new_child = replace_logical_node(child, target, replacement)
+        changed = changed or new_child is not child
+        new_children.append(new_child)
+    if not changed:
+        return root
+    return replace(root, children=tuple(new_children))
+
+
+def find_logical_nodes(root: LogicalNode, node_type) -> list[LogicalNode]:
+    return [node for node in walk_logical(root) if isinstance(node, node_type)]
+
+
+# ----------------------------------------------------------------------
+# Build / lower
+# ----------------------------------------------------------------------
+def build_logical_plan(query: Query) -> LogicalNode:
+    """Canonical logical tree: Aggregate(Filter(Join(Scans...))).
+
+    All predicates start *above* the join in a single filter — the
+    pushdown rule, not the builder, is responsible for moving them into
+    the scans, so the rule actually has work to do and its firing shows
+    up in the trace.
+    """
+    scans: tuple[LogicalNode, ...] = tuple(
+        LogicalScan(alias=table.name, table_name=table.table_name)
+        for table in query.tables
+    )
+    if len(scans) == 1:
+        root = scans[0]
+    else:
+        root = LogicalJoin(conditions=query.joins, children=scans)
+    if query.predicates:
+        root = LogicalFilter(predicates=query.predicates, children=(root,))
+    return LogicalAggregate(aggregates=query.aggregates,
+                            group_by=query.group_by, children=(root,))
+
+
+def lower_logical_plan(root: LogicalNode, original: Query
+                       ) -> tuple[Query, dict[str, tuple[str, ...]], tuple[str, ...]]:
+    """Flatten a (rewritten) logical tree back into a planner query.
+
+    Returns ``(query, scan_columns, notes)`` where ``scan_columns``
+    maps alias -> kept columns for scans the projection rule pruned,
+    and ``notes`` records lowering actions (e.g. force-pushing filter
+    predicates that no rule moved — the physical layer has no
+    standalone Filter operator, so every predicate must live on a scan).
+    """
+    scans = {node.alias: node
+             for node in find_logical_nodes(root, LogicalScan)}
+    joins_nodes = find_logical_nodes(root, LogicalJoin)
+    filters = find_logical_nodes(root, LogicalFilter)
+    aggregates = find_logical_nodes(root, LogicalAggregate)
+
+    if set(scans) != {table.name for table in original.tables}:
+        raise PlannerError(
+            "rewrite produced a logical plan whose scans do not match the "
+            f"query's tables: {sorted(scans)} vs {sorted(original.table_names)}"
+        )
+    if len(joins_nodes) > 1 or len(aggregates) != 1:
+        raise PlannerError(
+            "rewrite produced an unloadable logical plan shape "
+            f"({len(joins_nodes)} joins, {len(aggregates)} aggregates)"
+        )
+
+    notes: list[str] = []
+    forced: dict[str, list[Predicate]] = {}
+    for flt in filters:
+        for predicate in flt.predicates:
+            alias = predicate.column.table
+            if alias not in scans:
+                raise PlannerError(
+                    f"filter predicate {predicate} references unknown "
+                    f"alias {alias!r}"
+                )
+            forced.setdefault(alias, []).append(predicate)
+    if forced:
+        notes.append(
+            "force-pushed %d un-pushed filter predicate(s) into scans"
+            % sum(len(v) for v in forced.values())
+        )
+
+    predicates: list[Predicate] = []
+    for table in original.tables:
+        scan = scans[table.name]
+        predicates.extend(scan.predicates)
+        predicates.extend(forced.get(table.name, ()))
+
+    joins = joins_nodes[0].conditions if joins_nodes else ()
+    agg = aggregates[0]
+    rewritten = Query(
+        tables=original.tables,
+        joins=tuple(joins),
+        predicates=tuple(predicates),
+        aggregates=agg.aggregates,
+        group_by=agg.group_by,
+    )
+    scan_columns = {
+        alias: scan.columns for alias, scan in sorted(scans.items())
+        if scan.columns is not None
+    }
+    return rewritten, scan_columns, tuple(notes)
+
+
+# ----------------------------------------------------------------------
+# Rule protocol, trace, registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RewriteContext:
+    """What a rule may consult besides the tree itself."""
+
+    query: Query
+    schema: Schema | None = None
+
+
+@runtime_checkable
+class RewriteRule(Protocol):
+    """A rewrite rule: match an operand pattern, return a transformed
+    tree or ``None`` when the rule does not apply.
+
+    Conformance contract (checked by the rewrite test suite): applying
+    a rule to its own output must eventually return ``None`` — rules
+    that always fire trip the :data:`MAX_RULE_FIRINGS` cap and raise
+    :class:`PlannerError`.
+    """
+
+    name: str
+    description: str
+
+    def apply(self, root: LogicalNode,
+              context: RewriteContext) -> LogicalNode | None: ...
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """One rule application inside the fixpoint loop."""
+
+    rule: str
+    iteration: int
+    nodes_before: int
+    nodes_after: int
+
+
+@dataclass(frozen=True)
+class RewriteTrace:
+    """Per-query record of what the rewrite phase did."""
+
+    firings: tuple[RuleFiring, ...] = ()
+    nodes_before: int = 0
+    nodes_after: int = 0
+    notes: tuple[str, ...] = ()
+    truncated: bool = False
+
+    @property
+    def rules_fired(self) -> tuple[str, ...]:
+        """Rule names in firing order (with repeats)."""
+        return tuple(firing.rule for firing in self.firings)
+
+    @property
+    def firing_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for firing in self.firings:
+            counts[firing.rule] = counts.get(firing.rule, 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Output of :meth:`RewritePlanner.rewrite`."""
+
+    query: Query
+    scan_columns: dict[str, tuple[str, ...]]
+    trace: RewriteTrace
+    logical_plan: LogicalNode
+
+
+class RuleRegistry:
+    """Ordered name -> rule table.
+
+    Mirrors the join-kernel / estimator registries: registration order
+    is application order, duplicates are rejected eagerly, and unknown
+    names raise with the available-rule list.
+    """
+
+    def __init__(self):
+        self._rules: dict[str, RewriteRule] = {}
+
+    def register(self, rule: RewriteRule, *, replace: bool = False
+                 ) -> RewriteRule | None:
+        """Register ``rule`` under ``rule.name``; returns the previous
+        binding (always ``None`` unless ``replace=True``)."""
+        name = getattr(rule, "name", None)
+        if not isinstance(name, str) or not name:
+            raise PlannerError(
+                f"rewrite rule {rule!r} has no usable .name attribute"
+            )
+        if not callable(getattr(rule, "apply", None)):
+            raise PlannerError(f"rewrite rule {name!r} has no apply() method")
+        if name in self._rules and not replace:
+            raise PlannerError(
+                f"rewrite rule {name!r} is already registered "
+                f"(available: {', '.join(self.names()) or 'none'}); "
+                "unregister it first or pass replace=True"
+            )
+        previous = self._rules.get(name)
+        self._rules[name] = rule
+        return previous
+
+    def unregister(self, name: str) -> RewriteRule | None:
+        return self._rules.pop(name, None)
+
+    def get(self, name: str) -> RewriteRule:
+        try:
+            return self._rules[name]
+        except KeyError:
+            raise PlannerError(
+                f"unknown rewrite rule {name!r}; "
+                f"available: {', '.join(self.names()) or 'none'}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered rule names in application order."""
+        return tuple(self._rules)
+
+    def rules(self, disabled: tuple[str, ...] = ()) -> tuple[RewriteRule, ...]:
+        """Enabled rules in application order.  Unknown names in
+        ``disabled`` raise eagerly with the available-rule list."""
+        self.validate_names(disabled)
+        return tuple(rule for name, rule in self._rules.items()
+                     if name not in disabled)
+
+    def validate_names(self, names) -> None:
+        for name in names:
+            if name not in self._rules:
+                raise PlannerError(
+                    f"unknown rewrite rule {name!r} in disabled_rules; "
+                    f"available: {', '.join(self.names()) or 'none'}"
+                )
+
+    def copy(self) -> "RuleRegistry":
+        clone = RuleRegistry()
+        clone._rules = dict(self._rules)
+        return clone
+
+
+# ----------------------------------------------------------------------
+# Built-in rules
+# ----------------------------------------------------------------------
+class PredicatePushdownRule:
+    """Move single-alias filter predicates below joins into their scan."""
+
+    name = "predicate-pushdown"
+    description = ("push filter predicates down to the scan of the alias "
+                   "they reference")
+
+    def apply(self, root: LogicalNode,
+              context: RewriteContext) -> LogicalNode | None:
+        for flt in find_logical_nodes(root, LogicalFilter):
+            scans = {scan.alias for scan in find_logical_nodes(flt, LogicalScan)}
+            movable: dict[str, list[Predicate]] = {}
+            residual: list[Predicate] = []
+            for predicate in flt.predicates:
+                if predicate.column.table in scans:
+                    movable.setdefault(predicate.column.table,
+                                       []).append(predicate)
+                else:
+                    residual.append(predicate)
+            if not movable:
+                continue
+            pushed = self._push(flt.children[0], movable)
+            if residual:
+                replacement = replace(flt, predicates=tuple(residual),
+                                      children=(pushed,))
+            else:
+                replacement = pushed
+            return replace_logical_node(root, flt, replacement)
+        return None
+
+    def _push(self, node: LogicalNode,
+              movable: dict[str, list[Predicate]]) -> LogicalNode:
+        if isinstance(node, LogicalScan) and node.alias in movable:
+            return replace(
+                node,
+                predicates=node.predicates + tuple(movable[node.alias]),
+            )
+        changed = False
+        new_children = []
+        for child in node.children:
+            new_child = self._push(child, movable)
+            changed = changed or new_child is not child
+            new_children.append(new_child)
+        if not changed:
+            return node
+        return replace(node, children=tuple(new_children))
+
+
+def _range_bounds(predicates):
+    """Fold range predicates into (low, low_inclusive, high, high_inclusive)."""
+    low = high = None
+    low_inc = high_inc = True
+    for predicate in predicates:
+        op, value = predicate.operator, predicate.value
+        if op is ComparisonOperator.BETWEEN:
+            bounds = [(value[0], True, "low"), (value[1], True, "high")]
+        elif op in (ComparisonOperator.GT, ComparisonOperator.GEQ):
+            bounds = [(value, op is ComparisonOperator.GEQ, "low")]
+        else:  # LT / LEQ
+            bounds = [(value, op is ComparisonOperator.LEQ, "high")]
+        for bound, inclusive, side in bounds:
+            if side == "low":
+                if low is None or bound > low:
+                    low, low_inc = bound, inclusive
+                elif bound == low:
+                    low_inc = low_inc and inclusive
+            else:
+                if high is None or bound < high:
+                    high, high_inc = bound, inclusive
+                elif bound == high:
+                    high_inc = high_inc and inclusive
+    return low, low_inc, high, high_inc
+
+
+def _satisfies_interval(value, low, low_inc, high, high_inc) -> bool:
+    if low is not None and (value < low or (value == low and not low_inc)):
+        return False
+    if high is not None and (value > high or (value == high and not high_inc)):
+        return False
+    return True
+
+
+def _emit_interval(column, low, low_inc, high, high_inc) -> list[Predicate]:
+    if low is not None and high is not None:
+        if low == high and low_inc and high_inc:
+            return [Predicate(column, ComparisonOperator.EQ, low)]
+        if low <= high and low_inc and high_inc:
+            return [Predicate(column, ComparisonOperator.BETWEEN, (low, high))]
+    out = []
+    if low is not None:
+        op = ComparisonOperator.GEQ if low_inc else ComparisonOperator.GT
+        out.append(Predicate(column, op, low))
+    if high is not None:
+        op = ComparisonOperator.LEQ if high_inc else ComparisonOperator.LT
+        out.append(Predicate(column, op, high))
+    return out
+
+
+def merge_conjunction(predicates: tuple[Predicate, ...]
+                      ) -> tuple[Predicate, ...] | None:
+    """Exact conjunction compression.  Returns the merged tuple, or
+    ``None`` when nothing changed (the canonical form is a fixpoint).
+
+    Only *exact* simplifications are made — an EQ absorbs ranges and IN
+    sets it satisfies, IN sets intersect with each other and with range
+    bounds, ranges fold into their tightest interval, singleton IN
+    becomes EQ (which can unlock index scans).  Contradictory inputs
+    (e.g. ``x = 1 AND x = 2``) are left untouched apart from exact
+    de-duplication: both forms select zero rows, and keeping the
+    originals avoids inventing an "empty" predicate form.
+    """
+    by_column: dict[ColumnRef, list[Predicate]] = {}
+    order: list[ColumnRef] = []
+    for predicate in predicates:
+        if predicate.column not in by_column:
+            order.append(predicate.column)
+        by_column.setdefault(predicate.column, []).append(predicate)
+
+    out: list[Predicate] = []
+    for column in order:
+        out.extend(_merge_column(column, by_column[column]))
+    merged = tuple(out)
+    return None if merged == predicates else merged
+
+
+def _dedup(predicates: list[Predicate]) -> list[Predicate]:
+    seen = set()
+    kept = []
+    for predicate in predicates:
+        key = (predicate.operator, predicate.value)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(predicate)
+    return kept
+
+
+def _merge_column(column: ColumnRef,
+                  predicates: list[Predicate]) -> list[Predicate]:
+    predicates = _dedup(predicates)
+    eqs = [p for p in predicates if p.operator is ComparisonOperator.EQ]
+    ins = [p for p in predicates if p.operator is ComparisonOperator.IN]
+    ranges = [p for p in predicates if p.operator.is_range]
+    others = [p for p in predicates
+              if p not in eqs and p not in ins and p not in ranges]
+
+    low, low_inc, high, high_inc = _range_bounds(ranges)
+
+    if eqs:
+        values = {p.value for p in eqs}
+        if len(values) > 1:
+            return predicates  # contradictory EQs: keep as written
+        value = eqs[0].value
+        if not _satisfies_interval(value, low, low_inc, high, high_inc):
+            return predicates
+        if any(value not in p.value for p in ins):
+            return predicates
+        return [Predicate(column, ComparisonOperator.EQ, value)] + others
+
+    if ins:
+        members = set(ins[0].value)
+        for predicate in ins[1:]:
+            members &= set(predicate.value)
+        members = {v for v in members
+                   if _satisfies_interval(v, low, low_inc, high, high_inc)}
+        if not members:
+            return predicates  # empty intersection: keep as written
+        if len(members) == 1:
+            merged = [Predicate(column, ComparisonOperator.EQ,
+                                next(iter(members)))]
+        else:
+            merged = [Predicate(column, ComparisonOperator.IN,
+                                tuple(sorted(members)))]
+        return merged + others
+
+    if ranges:
+        if (low is not None and high is not None
+                and (low > high or (low == high
+                                    and not (low_inc and high_inc)))):
+            return predicates  # empty interval: keep as written
+        return _emit_interval(column, low, low_inc, high, high_inc) + others
+
+    return others
+
+
+class FilterMergeRule:
+    """Collapse stacked filters and AND-combine predicates per column."""
+
+    name = "filter-merge"
+    description = ("collapse Filter(Filter(x)) and compress per-column "
+                   "conjunctions into their exact minimal form")
+
+    def apply(self, root: LogicalNode,
+              context: RewriteContext) -> LogicalNode | None:
+        for flt in find_logical_nodes(root, LogicalFilter):
+            child = flt.children[0]
+            if isinstance(child, LogicalFilter):
+                merged = LogicalFilter(
+                    predicates=flt.predicates + child.predicates,
+                    children=child.children,
+                )
+                return replace_logical_node(root, flt, merged)
+        for node in walk_logical(root):
+            if isinstance(node, (LogicalFilter, LogicalScan)):
+                merged = merge_conjunction(node.predicates)
+                if merged is not None:
+                    return replace_logical_node(
+                        root, node, replace(node, predicates=merged)
+                    )
+        return None
+
+
+class TransitiveJoinRule:
+    """Derive ``a = c`` from ``a = b AND b = c`` to unlock join orders.
+
+    Adds the within-class transitive closure of the equi-join
+    conditions (skipping self-joins on one alias).  Derived edges come
+    after the original ones, so ``joins_between(...)[0]`` — the single
+    condition the planner applies per merge — still prefers original
+    edges, and fragment canonicalization stays stable.
+    """
+
+    name = "transitive-joins"
+    description = ("add the transitive closure of equi-join conditions "
+                   "within each column equivalence class")
+
+    def apply(self, root: LogicalNode,
+              context: RewriteContext) -> LogicalNode | None:
+        for join in find_logical_nodes(root, LogicalJoin):
+            existing = {
+                frozenset((condition.left, condition.right))
+                for condition in join.conditions
+            }
+            derived: list[JoinCondition] = []
+            for group in join_column_classes(join.conditions):
+                columns = sorted(group, key=str)
+                for i, left in enumerate(columns):
+                    for right in columns[i + 1:]:
+                        if left.table == right.table:
+                            continue
+                        key = frozenset((left, right))
+                        if key in existing:
+                            continue
+                        existing.add(key)
+                        derived.append(JoinCondition(left, right))
+            if derived:
+                return replace_logical_node(
+                    root, join,
+                    replace(join, conditions=join.conditions + tuple(derived)),
+                )
+        return None
+
+
+class ProjectionPruningRule:
+    """Restrict each scan to the columns the rest of the plan reads."""
+
+    name = "projection-pruning"
+    description = ("annotate scans with the columns referenced by joins, "
+                   "filters, aggregates and GROUP BY, shrinking widths")
+
+    def apply(self, root: LogicalNode,
+              context: RewriteContext) -> LogicalNode | None:
+        required: dict[str, set[str]] = {}
+
+        def need(column: ColumnRef) -> None:
+            required.setdefault(column.table, set()).add(column.column)
+
+        for node in walk_logical(root):
+            if isinstance(node, LogicalScan):
+                for predicate in node.predicates:
+                    need(predicate.column)
+            elif isinstance(node, LogicalFilter):
+                for predicate in node.predicates:
+                    need(predicate.column)
+            elif isinstance(node, LogicalJoin):
+                for condition in node.conditions:
+                    need(condition.left)
+                    need(condition.right)
+            elif isinstance(node, LogicalAggregate):
+                for aggregate in node.aggregates:
+                    if aggregate.column is not None:
+                        need(aggregate.column)
+                for column in node.group_by:
+                    need(column)
+
+        changed = False
+        new_root = root
+        for scan in find_logical_nodes(root, LogicalScan):
+            kept = required.get(scan.alias)
+            # COUNT(*)-only scans keep all columns: the executor derives
+            # row counts from materialized columns, and pruning to zero
+            # columns would leave nothing to count.
+            columns = tuple(sorted(kept)) if kept else None
+            if columns != scan.columns:
+                new_root = replace_logical_node(
+                    new_root, scan, replace(scan, columns=columns)
+                )
+                changed = True
+        return new_root if changed else None
+
+
+def _builtin_rules() -> tuple[RewriteRule, ...]:
+    # Pushdown before merge (merge compresses the pushed-down scan
+    # conjunctions), transitive closure on the full edge set, pruning
+    # last so it sees the final column demand.
+    return (
+        PredicatePushdownRule(),
+        FilterMergeRule(),
+        TransitiveJoinRule(),
+        ProjectionPruningRule(),
+    )
+
+
+_REGISTRY = RuleRegistry()
+for _rule in _builtin_rules():
+    _REGISTRY.register(_rule)
+
+
+def default_rule_registry() -> RuleRegistry:
+    """The module-level registry the planner uses by default."""
+    return _REGISTRY
+
+
+def register_rewrite_rule(rule: RewriteRule, *,
+                          replace: bool = False) -> RewriteRule | None:
+    """Register a rule globally; returns the previous binding."""
+    return _REGISTRY.register(rule, replace=replace)
+
+
+def unregister_rewrite_rule(name: str) -> RewriteRule | None:
+    """Remove a rule from the global registry; returns it (restorable)."""
+    return _REGISTRY.unregister(name)
+
+
+def available_rewrite_rules() -> tuple[str, ...]:
+    """Registered rule names in application order."""
+    return _REGISTRY.names()
+
+
+def reset_rewrite_rules() -> None:
+    """Restore the built-in rule set (drops custom registrations)."""
+    _REGISTRY._rules.clear()
+    for rule in _builtin_rules():
+        _REGISTRY.register(rule)
+
+
+# ----------------------------------------------------------------------
+# The rewrite planner
+# ----------------------------------------------------------------------
+class RewritePlanner:
+    """Applies registered rules to fixpoint, DBSim-style.
+
+    Rules run in registration order; each rule is re-applied until it
+    stops matching before the next rule runs, and full passes repeat
+    until a pass fires nothing.  A hard cap
+    (:data:`MAX_RULE_FIRINGS`) turns non-terminating rule sets into a
+    :class:`PlannerError` with the partial :class:`RewriteTrace`
+    attached as ``error.trace``.
+    """
+
+    def __init__(self, schema: Schema | None = None,
+                 registry: RuleRegistry | None = None,
+                 disabled_rules: tuple[str, ...] = (),
+                 max_firings: int = MAX_RULE_FIRINGS):
+        if max_firings < 1:
+            raise PlannerError(f"max_firings must be >= 1, got {max_firings}")
+        self.schema = schema
+        self.registry = registry if registry is not None else _REGISTRY
+        self.disabled_rules = tuple(disabled_rules)
+        self.max_firings = max_firings
+        # Eager validation, mirroring resolve_backend: a typo'd rule
+        # name fails at construction, not on the first query.
+        self.registry.validate_names(self.disabled_rules)
+
+    def rewrite(self, query: Query) -> RewriteResult:
+        root = build_logical_plan(query)
+        context = RewriteContext(query=query, schema=self.schema)
+        nodes_before = count_logical_nodes(root)
+        firings: list[RuleFiring] = []
+        iteration = 0
+
+        def overflow_error() -> PlannerError:
+            trace = RewriteTrace(
+                firings=tuple(firings),
+                nodes_before=nodes_before,
+                nodes_after=count_logical_nodes(root),
+                truncated=True,
+            )
+            counts = ", ".join(
+                f"{name}×{count}" for name, count in trace.firing_counts.items()
+            )
+            return PlannerError(
+                f"rewrite did not reach fixpoint within {self.max_firings} "
+                f"rule firings ({counts}); a registered rule keeps firing "
+                "on its own output",
+                trace=trace,
+            )
+
+        rules = self.registry.rules(disabled=self.disabled_rules)
+        pass_fired = True
+        while pass_fired:
+            pass_fired = False
+            iteration += 1
+            for rule in rules:
+                while True:
+                    result = rule.apply(root, context)
+                    if result is None:
+                        break
+                    if len(firings) >= self.max_firings:
+                        raise overflow_error()
+                    firings.append(RuleFiring(
+                        rule=rule.name,
+                        iteration=iteration,
+                        nodes_before=count_logical_nodes(root),
+                        nodes_after=count_logical_nodes(result),
+                    ))
+                    root = result
+                    pass_fired = True
+
+        rewritten, scan_columns, notes = lower_logical_plan(root, query)
+        trace = RewriteTrace(
+            firings=tuple(firings),
+            nodes_before=nodes_before,
+            nodes_after=count_logical_nodes(root),
+            notes=notes,
+        )
+        return RewriteResult(query=rewritten, scan_columns=scan_columns,
+                             trace=trace, logical_plan=root)

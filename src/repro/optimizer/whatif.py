@@ -10,7 +10,7 @@ and feed the what-if plan to the zero-shot model.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.db.database import Database
 from repro.optimizer.planner import Planner, PlannerOptions
@@ -66,16 +66,13 @@ class WhatIfPlanner:
         return plan
 
     def plan_without_indexes(self, query: Query) -> PhysicalPlan:
-        """Plan ``query`` using only real indexes (the baseline plan)."""
-        options = PlannerOptions(
-            enable_seqscan=self.options.enable_seqscan,
-            enable_indexscan=self.options.enable_indexscan,
-            enable_hashjoin=self.options.enable_hashjoin,
-            enable_mergejoin=self.options.enable_mergejoin,
-            enable_nestloop=self.options.enable_nestloop,
-            use_hypothetical_indexes=False,
-            cost_parameters=self.options.cost_parameters,
-        )
+        """Plan ``query`` using only real indexes (the baseline plan).
+
+        ``replace`` (rather than a field-by-field copy) keeps every
+        other option — including the rewrite toggles — in sync with
+        the what-if side, so both plans see the same logical query.
+        """
+        options = replace(self.options, use_hypothetical_indexes=False)
         return Planner(self.database, options).plan(query)
 
     def uses_hypothetical_index(self, plan: PhysicalPlan) -> bool:

@@ -92,10 +92,16 @@ class PlanNode:
 
 @dataclass
 class SeqScan(PlanNode):
-    """Full table scan with optional pushed-down filters."""
+    """Full table scan with optional pushed-down filters.
+
+    ``projection`` restricts the materialized output columns
+    (``None`` means all columns) — set by the rewrite phase's
+    projection-pruning rule to narrow intermediates.
+    """
 
     table: TableRef
     filters: tuple[Predicate, ...] = ()
+    projection: tuple[str, ...] | None = None
 
     def _expected_children(self) -> int:
         return 0
@@ -106,6 +112,8 @@ class SeqScan(PlanNode):
             base += f" {self.table.alias}"
         if self.filters:
             base += f" (filters: {len(self.filters)})"
+        if self.projection is not None:
+            base += f" (columns: {len(self.projection)})"
         return base
 
 
@@ -126,6 +134,7 @@ class IndexScan(PlanNode):
     index_predicates: tuple[Predicate, ...] = ()
     residual_filters: tuple[Predicate, ...] = ()
     lookup_column: ColumnRef | None = None
+    projection: tuple[str, ...] | None = None
 
     def _expected_children(self) -> int:
         return 0
@@ -143,6 +152,8 @@ class IndexScan(PlanNode):
                 f"{self.table.table_name}")
         if self.lookup_column is not None:
             base += f" (lookup: {self.lookup_column})"
+        if self.projection is not None:
+            base += f" (columns: {len(self.projection)})"
         return base
 
 

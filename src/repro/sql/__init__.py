@@ -15,6 +15,8 @@ from repro.sql.ast import (
     Predicate,
     Query,
     TableRef,
+    iter_column_refs,
+    join_column_classes,
 )
 from repro.sql.parser import parse_query
 from repro.sql.text import query_to_sql
@@ -29,6 +31,8 @@ __all__ = [
     "Predicate",
     "Query",
     "TableRef",
+    "iter_column_refs",
+    "join_column_classes",
     "parse_query",
     "query_to_sql",
     "validate_query",

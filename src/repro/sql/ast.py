@@ -21,6 +21,8 @@ __all__ = [
     "JoinCondition",
     "AggregateSpec",
     "Query",
+    "iter_column_refs",
+    "join_column_classes",
 ]
 
 
@@ -230,3 +232,57 @@ class Query:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         from repro.sql.text import query_to_sql
         return query_to_sql(self)
+
+
+def iter_column_refs(query: Query):
+    """Yield every :class:`ColumnRef` the query mentions, in clause order.
+
+    Walks joins, predicates, aggregates and GROUP BY.  Duplicates are
+    yielded as-is; callers that need a set can build one.
+    """
+    for join in query.joins:
+        yield join.left
+        yield join.right
+    for predicate in query.predicates:
+        yield predicate.column
+    for aggregate in query.aggregates:
+        if aggregate.column is not None:
+            yield aggregate.column
+    yield from query.group_by
+
+
+def join_column_classes(
+    joins: tuple[JoinCondition, ...] | list[JoinCondition],
+) -> tuple[frozenset[ColumnRef], ...]:
+    """Column equivalence classes induced by a set of equi-join conditions.
+
+    ``a = b`` and ``b = c`` place ``a``, ``b`` and ``c`` in one class.
+    Only classes with at least two members are returned (a column that
+    appears in no join condition is not in any class).  The result is
+    deterministic: classes are ordered by their smallest member's string
+    form, which makes derived artifacts (e.g. inferred join conditions)
+    stable across runs.
+    """
+    parent: dict[ColumnRef, ColumnRef] = {}
+
+    def find(column: ColumnRef) -> ColumnRef:
+        root = column
+        while parent[root] != root:
+            root = parent[root]
+        while parent[column] != root:  # path compression
+            parent[column], column = root, parent[column]
+        return root
+
+    for join in joins:
+        for column in (join.left, join.right):
+            parent.setdefault(column, column)
+        left_root, right_root = find(join.left), find(join.right)
+        if left_root != right_root:
+            parent[left_root] = right_root
+
+    classes: dict[ColumnRef, set[ColumnRef]] = {}
+    for column in parent:
+        classes.setdefault(find(column), set()).add(column)
+    members = [frozenset(group) for group in classes.values() if len(group) >= 2]
+    members.sort(key=lambda group: min(str(column) for column in group))
+    return tuple(members)
