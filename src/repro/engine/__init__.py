@@ -11,6 +11,12 @@ through registries (:mod:`repro.engine.join_kernels` for join matching,
 alternative join algorithms plug in without touching the executor core.
 """
 
+from repro.engine.compiled_filters import (
+    CompiledFilter,
+    CompiledFilterCache,
+    compile_filter,
+    compile_predicate,
+)
 from repro.engine.executor import (
     BuildSideCache,
     ExecutionResult,
@@ -18,7 +24,7 @@ from repro.engine.executor import (
     execute_plan,
     register_operator_handler,
 )
-from repro.engine.expressions import predicate_mask
+from repro.engine.expressions import conjunction_mask, predicate_mask
 from repro.engine.join_kernels import (
     JoinHashTable,
     block_nested_loop_match,
@@ -33,10 +39,15 @@ from repro.engine.join_kernels import (
 
 __all__ = [
     "BuildSideCache",
+    "CompiledFilter",
+    "CompiledFilterCache",
     "ExecutionResult",
     "Executor",
     "JoinHashTable",
+    "compile_filter",
+    "compile_predicate",
     "block_nested_loop_match",
+    "conjunction_mask",
     "execute_plan",
     "hash_join_match",
     "join_kernel_for",

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.db.database import Database
 from repro.db.table_data import TableData
+from repro.engine.compiled_filters import CompiledFilterCache
 from repro.engine.expressions import conjunction_mask, predicate_mask
 from repro.engine.join_kernels import (
     JoinHashTable,
@@ -269,6 +270,15 @@ class Executor:
     An optional :class:`BuildSideCache` memoizes hash-join build sides
     (relation + hash table) across queries — sound as long as the
     database's table data is not modified while the cache lives.
+
+    With ``compile_filters=True`` (the default) scan predicates run
+    through :mod:`repro.engine.compiled_filters`: each scan's
+    ``(alias, filters, projection)`` tuple is compiled once into a
+    fused kernel, cached on the executor, and sequential scans
+    materialize only the surviving rows (filter before materialize
+    instead of materialize-then-filter).  ``compile_filters=False``
+    keeps the interpreted ``predicate_mask`` path as the bit-identical
+    reference oracle.
     """
 
     #: operator class → bound handler; populated after the class body.
@@ -276,9 +286,12 @@ class Executor:
                                              "Relation"]] = {}
 
     def __init__(self, database: Database,
-                 build_cache: BuildSideCache | None = None):
+                 build_cache: BuildSideCache | None = None,
+                 compile_filters: bool = True):
         self.database = database
         self.build_cache = build_cache
+        self.filter_cache = (CompiledFilterCache() if compile_filters
+                             else None)
 
     # ------------------------------------------------------------------
     # Public API
@@ -339,6 +352,15 @@ class Executor:
                        filters: tuple[Predicate, ...]) -> Relation:
         if not filters:
             return relation
+        if self.filter_cache is not None:
+            compiled = self.filter_cache.get_or_compile((alias, filters),
+                                                        filters)
+            keep = compiled.keep_positions(
+                lambda name: relation.columns[f"{alias}.{name}"],
+                lambda name: relation.null_masks.get(f"{alias}.{name}"),
+                relation.num_rows,
+            )
+            return relation.take(keep)
         masks = []
         for predicate in filters:
             key = f"{alias}.{predicate.column.column}"
@@ -349,9 +371,24 @@ class Executor:
 
     def _seq_scan(self, node: SeqScan) -> Relation:
         data = self.database.table_data(node.table.table_name)
-        relation = self._base_relation(data, node.table.name,
+        alias = node.table.name
+        if self.filter_cache is not None and node.filters:
+            # Fused path: compute surviving row positions on the raw
+            # table columns, then materialize (and copy) only those
+            # rows — the interpreted path materializes every projected
+            # column first and filters afterwards.  Filter columns are
+            # always part of the projection (the rewrite phase's
+            # pruning rule keeps every column the plan reads), so both
+            # paths see the same inputs and produce identical rows.
+            compiled = self.filter_cache.get_or_compile(
+                (alias, node.filters, node.projection), node.filters)
+            keep = compiled.keep_positions(data.column_values,
+                                           data.null_masks.get,
+                                           data.num_rows)
+            return self._base_relation(data, alias, keep, node.projection)
+        relation = self._base_relation(data, alias,
                                        projection=node.projection)
-        return self._apply_filters(relation, node.table.name, node.filters)
+        return self._apply_filters(relation, alias, node.filters)
 
     def _index_scan(self, node: IndexScan, outer_keys: np.ndarray | None = None
                     ) -> Relation:

@@ -53,8 +53,22 @@ def predicate_mask(values: np.ndarray, null_mask: np.ndarray | None,
 
 
 def conjunction_mask(num_rows: int, masks: list[np.ndarray]) -> np.ndarray:
-    """AND a list of masks (all-True for an empty list)."""
-    result = np.ones(num_rows, dtype=np.bool_)
-    for mask in masks:
-        result &= mask
+    """AND a list of masks (all-True for an empty list).
+
+    A lone mask is returned as-is (callers treat the result as
+    read-only), and the fold short-circuits once a partial conjunction
+    is already all-False — the remaining masks cannot resurrect a row.
+    """
+    if not masks:
+        return np.ones(num_rows, dtype=np.bool_)
+    result = masks[0]
+    owned = False  # never mutate the caller's first mask in place
+    for mask in masks[1:]:
+        if owned:
+            result &= mask
+        else:
+            result = result & mask
+            owned = True
+        if not result.any():
+            break
     return result

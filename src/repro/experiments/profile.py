@@ -1,0 +1,87 @@
+"""``repro-profile``: cProfile the two hot loops the repo optimizes.
+
+The corpus-collection loop (``execute_shard``: plan + execute a shard's
+workload, where the compiled filter kernels of
+:mod:`repro.engine.compiled_filters` live) and the training loop (one
+epoch of the zero-shot estimator, where the encode-once level-plan
+cache of :class:`repro.featurize.LevelPlanCache` lives) dominate every
+experiment's wall clock.  This driver profiles one small instance of
+each and prints the top functions by cumulative time, so a perf
+regression in either loop shows up as a shifted profile instead of an
+unexplained slow CI run.
+
+CI runs it as a smoke step with a tiny workload (``--queries 10
+--epochs 1``); locally, larger ``--queries`` give more stable rankings::
+
+    repro-profile --queries 50 --epochs 2 --top 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.db import generate_training_database_specs
+from repro.models import TrainerConfig, ZeroShotConfig, get_estimator
+from repro.workload.backends import execute_shard, make_corpus_shards
+
+__all__ = ["main", "profile_section"]
+
+
+def profile_section(label: str, top: int, thunk):
+    """Run ``thunk`` under cProfile, print its top-N cumulative stats,
+    and return the thunk's result."""
+    profiler = cProfile.Profile()
+    result = profiler.runcall(thunk)
+    print(f"\n=== {label}: top {top} by cumulative time ===")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Profile corpus collection and one training epoch; "
+                    "print the top functions by cumulative time.",
+    )
+    parser.add_argument("--queries", type=int, default=25,
+                        help="workload queries in the profiled shard "
+                             "(default: 25)")
+    parser.add_argument("--epochs", type=int, default=1,
+                        help="training epochs to profile (default: 1)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="profile rows to print per section "
+                             "(default: 25)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for the shard recipe (default: 0)")
+    args = parser.parse_args(argv)
+    if args.queries < 1 or args.epochs < 1 or args.top < 1:
+        parser.error("--queries, --epochs and --top must be positive")
+
+    specs = generate_training_database_specs(1, base_seed=args.seed)
+    shard = make_corpus_shards(specs, args.queries, seed=args.seed)[0]
+    print(f"profiling shard: database={specs[0].name} "
+          f"queries={args.queries} seed={args.seed}")
+    execution = profile_section(
+        "corpus collection (execute_shard)", args.top,
+        lambda: execute_shard(shard))
+    print(f"collected {len(execution.records)} executed query records")
+
+    estimator = get_estimator(
+        "zero-shot-cardinality",
+        config=ZeroShotConfig(hidden_dim=32, cardinality_head=True))
+    trainer = TrainerConfig(epochs=args.epochs, batch_size=16,
+                            early_stopping_patience=args.epochs + 1)
+    profile_section(
+        f"training ({args.epochs} epoch"
+        f"{'' if args.epochs == 1 else 's'})", args.top,
+        lambda: estimator.fit(execution.records, execution.database,
+                              trainer))
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via CLI
+    sys.exit(main())

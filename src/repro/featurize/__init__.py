@@ -16,7 +16,10 @@
 from repro.featurize.batch import (
     EncodedGraph,
     GraphBatch,
+    LevelPlan,
+    LevelPlanCache,
     batch_graphs,
+    build_level_plan,
     encode_graph,
     encode_graphs,
     fit_scalers,
@@ -39,6 +42,8 @@ __all__ = [
     "E2ETreeSample",
     "EncodedGraph",
     "GraphBatch",
+    "LevelPlan",
+    "LevelPlanCache",
     "MSCNFeaturizer",
     "MSCNSample",
     "NODE_TYPES",
@@ -46,6 +51,7 @@ __all__ = [
     "StandardScaler",
     "ZeroShotFeaturizer",
     "batch_graphs",
+    "build_level_plan",
     "encode_graph",
     "encode_graphs",
     "fit_scalers",

@@ -23,6 +23,8 @@ entry point (used at inference time, where every batch is new anyway).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,6 +43,9 @@ __all__ = [
     "LevelSpec",
     "GraphBatch",
     "EncodedGraph",
+    "LevelPlan",
+    "LevelPlanCache",
+    "build_level_plan",
     "encode_graph",
     "encode_graphs",
     "merge_encoded",
@@ -239,13 +244,34 @@ def _merge_card_targets(encoded: list[EncodedGraph]) -> np.ndarray | None:
     return np.concatenate(labels)
 
 
-def merge_encoded(encoded: list[EncodedGraph],
-                  require_targets: bool = False) -> GraphBatch:
-    """Merge pre-encoded graphs into a :class:`GraphBatch` (cheap).
+@dataclass
+class LevelPlan:
+    """The structural half of a merged batch — everything in
+    :class:`GraphBatch` that depends only on the graphs' *shapes*
+    (levels, edges, node types), not on their feature values.
 
-    Pure numpy: feature/edge concatenation plus stable
-    ``argsort``/``searchsorted`` grouping of nodes by level and, within
-    a level, of parents by node type.
+    Deriving it is the expensive part of :func:`merge_encoded` (the
+    ``argsort``/``searchsorted`` grouping plus the per-level Python
+    loop); for a fixed list of graphs it never changes, so a training
+    loop that re-batches the same mini-batches every epoch can derive
+    it once and reuse it (see :class:`LevelPlanCache`).  Consumers must
+    treat every array as read-only — the same plan is shared by every
+    batch built from it.
+    """
+
+    num_nodes: int
+    type_positions: dict[str, np.ndarray]
+    levels: list[LevelSpec]
+    roots: np.ndarray
+    graph_sizes: tuple[int, ...]
+    plan_op_counts: tuple[int, ...]
+
+
+def build_level_plan(encoded: list[EncodedGraph]) -> LevelPlan:
+    """Derive the structural merge of ``encoded`` (order-sensitive).
+
+    Pure numpy: stable ``argsort``/``searchsorted`` grouping of nodes
+    by level and, within a level, of parents by node type.
     """
     if not encoded:
         raise FeaturizationError("cannot batch zero graphs")
@@ -254,16 +280,11 @@ def merge_encoded(encoded: list[EncodedGraph],
     num_nodes = int(offsets[-1])
     graph_offsets = offsets[:-1]
 
-    features: dict[str, np.ndarray] = {}
     type_positions: dict[str, np.ndarray] = {}
     for node_type in NODE_TYPES:
-        matrices = [g.features[node_type] for g in encoded
-                    if len(g.features[node_type])]
         positions = [g.type_positions[node_type] + offset
                      for g, offset in zip(encoded, graph_offsets)
                      if len(g.type_positions[node_type])]
-        features[node_type] = (np.concatenate(matrices, axis=0) if matrices
-                               else np.zeros((0, FEATURE_DIMS[node_type])))
         type_positions[node_type] = (np.concatenate(positions) if positions
                                      else np.zeros(0, dtype=np.int64))
 
@@ -278,7 +299,6 @@ def merge_encoded(encoded: list[EncodedGraph],
     roots = np.asarray([g.root + offset
                         for g, offset in zip(encoded, graph_offsets)],
                        dtype=np.int64)
-    targets = _merge_targets(encoded, require_targets)
 
     max_level = int(level_arr.max()) if num_nodes else 0
 
@@ -324,16 +344,104 @@ def merge_encoded(encoded: list[EncodedGraph],
             type_slots=type_slots,
         ))
 
-    return GraphBatch(
+    return LevelPlan(
         num_nodes=num_nodes,
-        features=features,
         type_positions=type_positions,
         levels=level_specs,
         roots=roots,
-        targets=targets,
-        graph_sizes=[g.num_nodes for g in encoded],
+        graph_sizes=tuple(g.num_nodes for g in encoded),
+        plan_op_counts=tuple(len(g.features["plan_op"]) for g in encoded),
+    )
+
+
+class LevelPlanCache:
+    """LRU of :class:`LevelPlan` objects keyed by graph-set identity.
+
+    The key is the ordered tuple of ``id()``s of the encoded graphs —
+    a batch's level plan is valid only for exactly that list of graph
+    objects in exactly that order.  Every entry **pins** the graph
+    objects themselves, so a cached key's ids cannot be recycled while
+    the entry lives (the same idiom as the learned-cardinality
+    estimator's per-query cache); eviction releases plan and pins
+    together.  A lock makes lookups safe from concurrent serving
+    threads sharing one model.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries <= 0:
+            raise FeaturizationError(
+                f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[int, ...], tuple[tuple[EncodedGraph, ...], LevelPlan]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def level_plan(self, encoded: list[EncodedGraph]) -> LevelPlan:
+        """The level plan for ``encoded``, derived at most once."""
+        key = tuple(id(graph) for graph in encoded)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+        plan = build_level_plan(encoded)
+        with self._lock:
+            self._entries[key] = (tuple(encoded), plan)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+def merge_encoded(encoded: list[EncodedGraph],
+                  require_targets: bool = False,
+                  level_cache: LevelPlanCache | None = None) -> GraphBatch:
+    """Merge pre-encoded graphs into a :class:`GraphBatch` (cheap).
+
+    The structural half (level grouping, edge slots, type positions)
+    comes from :func:`build_level_plan` — or, with ``level_cache``,
+    from a cached :class:`LevelPlan` when the exact same graph list
+    was merged before (fixed train/validation batches re-merged every
+    epoch).  Only the feature and target concatenations run per call,
+    so a cache hit skips the argsort/searchsorted grouping and the
+    per-level Python loop entirely.  Cached or not, the resulting
+    batch is bit-identical.
+    """
+    if not encoded:
+        raise FeaturizationError("cannot batch zero graphs")
+    if level_cache is not None:
+        plan = level_cache.level_plan(encoded)
+    else:
+        plan = build_level_plan(encoded)
+
+    features: dict[str, np.ndarray] = {}
+    for node_type in NODE_TYPES:
+        matrices = [g.features[node_type] for g in encoded
+                    if len(g.features[node_type])]
+        features[node_type] = (np.concatenate(matrices, axis=0) if matrices
+                               else np.zeros((0, FEATURE_DIMS[node_type])))
+
+    return GraphBatch(
+        num_nodes=plan.num_nodes,
+        features=features,
+        type_positions=plan.type_positions,
+        levels=plan.levels,
+        roots=plan.roots,
+        targets=_merge_targets(encoded, require_targets),
+        graph_sizes=list(plan.graph_sizes),
         card_targets=_merge_card_targets(encoded),
-        plan_op_counts=[len(g.features["plan_op"]) for g in encoded],
+        plan_op_counts=list(plan.plan_op_counts),
         plan_op_log_rows=np.concatenate([g.plan_op_log_rows
                                          for g in encoded]),
         plan_op_rows=np.concatenate([g.plan_op_rows for g in encoded]),

@@ -203,8 +203,8 @@ class ZeroShotFeaturizer:
             )
         graph = PlanGraph()
         column_cache: dict[str, int] = {}
-        graph.root = self._encode_operator(plan.root, plan, database, graph,
-                                           column_cache)
+        graph.root = self._encode_operator(plan.root, plan.query, database,
+                                           graph, column_cache)
         if target_runtime_seconds is not None:
             if target_runtime_seconds <= 0:
                 raise FeaturizationError(
@@ -228,15 +228,53 @@ class ZeroShotFeaturizer:
             graph.target_log_cardinalities = np.log1p(cards)
         return graph
 
+    def featurize_shared(self, roots: Sequence[PlanNode], query,
+                         database: Database
+                         ) -> tuple[PlanGraph, list[int]]:
+        """Encode many plan roots — sharing subplan *objects* — into ONE
+        graph, featurizing every distinct subplan exactly once.
+
+        The learned-cardinality estimator's canonical fragment plans
+        share scan and left-deep-prefix subtrees by construction; an
+        identity memo (``id(node)`` → graph node id) turns the forest
+        into a merged DAG where each shared subtree contributes its
+        plan-op/table/predicate nodes a single time, and one global
+        column cache dedups column nodes across all roots.  Returns the
+        graph plus each root's ``plan_op`` node id (read a root's
+        prediction at ``graph.type_row_of[root_id]``).
+
+        Encoding a node inside a merged DAG is bit-identical to
+        encoding it in its own graph: the per-node feature rows are the
+        same, the DeepSets child aggregation sums over the same edges
+        in the same insertion order, and the forward pass is
+        batch-size-invariant (``repro.nn.tensor._stable_matmul``), so a
+        subtree's hidden state does not depend on what else shares the
+        graph.
+        """
+        if not roots:
+            raise FeaturizationError("cannot featurize zero plan roots")
+        graph = PlanGraph()
+        column_cache: dict[str, int] = {}
+        node_cache: dict[int, int] = {}
+        root_ids = [self._encode_operator(root, query, database, graph,
+                                          column_cache, node_cache)
+                    for root in roots]
+        graph.root = root_ids[-1]
+        return graph, root_ids
+
     # ------------------------------------------------------------------
     # Node encoders
     # ------------------------------------------------------------------
     def _rows(self, node: PlanNode) -> float:
         return node.rows(self.cardinality_source is CardinalitySource.ACTUAL)
 
-    def _encode_operator(self, node: PlanNode, plan: PhysicalPlan,
-                         database: Database, graph: PlanGraph,
-                         column_cache: dict[str, int]) -> int:
+    def _encode_operator(self, node: PlanNode, query, database: Database,
+                         graph: PlanGraph, column_cache: dict[str, int],
+                         node_cache: dict[int, int] | None = None) -> int:
+        if node_cache is not None:
+            cached = node_cache.get(id(node))
+            if cached is not None:
+                return cached
         features = np.zeros(FEATURE_DIMS["plan_op"])
         features[_OPERATOR_INDEX[node.operator_name]] = 1.0
         is_inl = isinstance(node, NestedLoopJoin) and node.is_index_nested_loop
@@ -247,33 +285,33 @@ class ZeroShotFeaturizer:
         graph.plan_op_rows.append(max(float(self._rows(node)), 0.0))
 
         for child in node.children:
-            child_id = self._encode_operator(child, plan, database, graph,
-                                             column_cache)
+            child_id = self._encode_operator(child, query, database, graph,
+                                             column_cache, node_cache)
             graph.add_edge(child_id, op_id)
 
         if isinstance(node, SeqScan):
             self._attach_table(node.table.table_name, database, graph, op_id)
             for predicate in node.filters:
-                self._attach_predicate(predicate, plan, database, graph,
+                self._attach_predicate(predicate, query, database, graph,
                                        op_id, column_cache)
         elif isinstance(node, IndexScan):
             self._attach_table(node.table.table_name, database, graph, op_id)
             self._attach_index(node, database, graph, op_id)
             for predicate in node.index_predicates + node.residual_filters:
-                self._attach_predicate(predicate, plan, database, graph,
+                self._attach_predicate(predicate, query, database, graph,
                                        op_id, column_cache)
             if node.lookup_column is not None:
                 indexed = ColumnRef(node.table.name, node.index_column)
-                column_id = self._attach_column(indexed, plan, database,
+                column_id = self._attach_column(indexed, query, database,
                                                 graph, column_cache)
                 graph.add_edge(column_id, op_id)
         elif isinstance(node, (HashJoin, MergeJoin, NestedLoopJoin)):
             for side in (node.condition.left, node.condition.right):
-                column_id = self._attach_column(side, plan, database, graph,
+                column_id = self._attach_column(side, query, database, graph,
                                                 column_cache)
                 graph.add_edge(column_id, op_id)
         elif isinstance(node, Sort):
-            column_id = self._attach_column(node.key, plan, database, graph,
+            column_id = self._attach_column(node.key, query, database, graph,
                                             column_cache)
             graph.add_edge(column_id, op_id)
         elif isinstance(node, (HashAggregate, PlainAggregate)):
@@ -283,16 +321,18 @@ class ZeroShotFeaturizer:
                 agg_features[-1] = 0.0 if aggregate.column is None else 1.0
                 agg_id = graph.add_node("aggregate", agg_features)
                 if aggregate.column is not None:
-                    column_id = self._attach_column(aggregate.column, plan,
+                    column_id = self._attach_column(aggregate.column, query,
                                                     database, graph,
                                                     column_cache)
                     graph.add_edge(column_id, agg_id)
                 graph.add_edge(agg_id, op_id)
             if isinstance(node, HashAggregate):
                 for column in node.group_by:
-                    column_id = self._attach_column(column, plan, database,
+                    column_id = self._attach_column(column, query, database,
                                                     graph, column_cache)
                     graph.add_edge(column_id, op_id)
+        if node_cache is not None:
+            node_cache[id(node)] = op_id
         return op_id
 
     def _attach_table(self, table_name: str, database: Database,
@@ -320,13 +360,12 @@ class ZeroShotFeaturizer:
         index_id = graph.add_node("index", features)
         graph.add_edge(index_id, parent)
 
-    def _attach_column(self, ref: ColumnRef, plan: PhysicalPlan,
-                       database: Database, graph: PlanGraph,
-                       column_cache: dict[str, int]) -> int:
+    def _attach_column(self, ref: ColumnRef, query, database: Database,
+                       graph: PlanGraph, column_cache: dict[str, int]) -> int:
         key = str(ref)
         if key in column_cache:
             return column_cache[key]
-        table_name = plan.query.table_ref(ref.table).table_name
+        table_name = query.table_ref(ref.table).table_name
         column = database.schema.table(table_name).column(ref.column)
         stats = database.table_statistics(table_name).column(ref.column)
         features = np.zeros(FEATURE_DIMS["column"])
@@ -339,15 +378,15 @@ class ZeroShotFeaturizer:
         column_cache[key] = column_id
         return column_id
 
-    def _attach_predicate(self, predicate, plan: PhysicalPlan,
-                          database: Database, graph: PlanGraph, parent: int,
+    def _attach_predicate(self, predicate, query, database: Database,
+                          graph: PlanGraph, parent: int,
                           column_cache: dict[str, int]) -> None:
         features = np.zeros(FEATURE_DIMS["predicate"])
         features[_COMPARISON_INDEX[predicate.operator]] = 1.0
         if predicate.operator is ComparisonOperator.IN:
             features[-1] = _log(len(predicate.value))
         predicate_id = graph.add_node("predicate", features)
-        column_id = self._attach_column(predicate.column, plan, database,
+        column_id = self._attach_column(predicate.column, query, database,
                                         graph, column_cache)
         graph.add_edge(column_id, predicate_id)
         graph.add_edge(predicate_id, parent)

@@ -26,6 +26,7 @@ from repro.errors import ModelError
 from repro.featurize.batch import (
     EncodedGraph,
     GraphBatch,
+    LevelPlanCache,
     batch_graphs,
     encode_graphs,
     fit_scalers,
@@ -192,6 +193,13 @@ class ZeroShotCostModel:
         self.net = ZeroShotNet(self.config)
         self.scalers: dict[str, StandardScaler] | None = None
         self.history: TrainingHistory | None = None
+        #: Encode-once discipline, level up: the structural half of a
+        #: merged batch (level grouping, edge slots) depends only on
+        #: the graph list, so fixed train/validation batches and
+        #: repeated serving batches reuse it across calls instead of
+        #: re-deriving it each step.  Cache hits are bit-identical to
+        #: fresh derivation (see ``featurize/batch.py``).
+        self.level_cache = LevelPlanCache()
         #: Log-runtime targets are standardized for training; the
         #: statistics are shipped with the model.
         self.target_mean: float = 0.0
@@ -263,8 +271,9 @@ class ZeroShotCostModel:
 
             self.history = train_model(
                 self.net, encoded, forward, targets, trainer,
-                collate=lambda items: merge_encoded(items,
-                                                    require_targets=True),
+                collate=lambda items: merge_encoded(
+                    items, require_targets=True,
+                    level_cache=self.level_cache),
             )
         else:
             def forward(batch_items: list[PlanGraph]) -> Tensor:
@@ -337,7 +346,8 @@ class ZeroShotCostModel:
 
         self.history = train_model(
             self.net, encoded, forward, targets, trainer,
-            collate=lambda items: merge_encoded(items, require_targets=True),
+            collate=lambda items: merge_encoded(
+                items, require_targets=True, level_cache=self.level_cache),
         )
         return self.history
 
@@ -365,7 +375,7 @@ class ZeroShotCostModel:
             return np.zeros(0)
         self.net.eval()
         with no_grad():
-            batch = merge_encoded(encoded)
+            batch = merge_encoded(encoded, level_cache=self.level_cache)
             normalized = self.net(batch).numpy().copy()
         return normalized * self.target_std + self.target_mean
 
@@ -395,7 +405,7 @@ class ZeroShotCostModel:
         corrections (every prediction surface derives from these)."""
         self.net.eval()
         with no_grad():
-            batch = merge_encoded(encoded)
+            batch = merge_encoded(encoded, level_cache=self.level_cache)
             _, cards = self.net.forward_with_cardinalities(batch)
             normalized = cards.numpy().copy()
         deltas = normalized * self.card_std + self.card_mean
