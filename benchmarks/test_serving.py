@@ -126,6 +126,14 @@ def test_multi_tenant_throughput_gate(estimator, imdb, serving_plans):
             assert server.stats.requests == total
             assert server.stats.failures == 0
             # SLO: p99 submit→response latency under sustained load.
+            # Guard the window first: an empty window makes latency_p99
+            # NaN, and every comparison against NaN is False — the gate
+            # must fail loudly on "no samples", not on a baffling NaN
+            # inequality (or pass, if anyone ever inverts the assert).
+            assert server.stats.observed_latencies > 0, (
+                "no latency samples recorded: the SLO gate has nothing "
+                "to measure"
+            )
             p99 = server.stats.latency_p99
             assert p99 < P99_BOUND_SECONDS, (
                 f"p99 latency {p99 * 1e3:.1f} ms breaches the "

@@ -20,6 +20,7 @@ setup(
             "repro-fewshot = repro.experiments.fewshot_exp:main",
             "repro-ablations = repro.experiments.ablations:main",
             "repro-resources = repro.experiments.resources:main",
+            "repro-hardware = repro.experiments.hardware:main",
             "repro-profile = repro.experiments.profile:main",
         ],
     },

@@ -51,10 +51,16 @@ from repro.models import (
 )
 from repro.optimizer import plan_query
 from repro.plans import explain_plan
-from repro.runtime import RuntimeSimulator, SystemParameters
+from repro.runtime import (
+    RuntimeSimulator,
+    SystemParameters,
+    available_system_configs,
+    get_system_config,
+    register_system_config,
+)
 from repro.serve import CostModelService, ServiceStats
 from repro.sql import parse_query, query_to_sql
-from repro.tuning import IndexAdvisor, ZeroShotWhatIfEstimator
+from repro.tuning import HardwareAdvisor, IndexAdvisor, ZeroShotWhatIfEstimator
 from repro.workload import (
     ProcessPoolBackend,
     SerialBackend,
@@ -73,6 +79,7 @@ __all__ = [
     "CostModelService",
     "Database",
     "E2ECostModel",
+    "HardwareAdvisor",
     "IndexAdvisor",
     "MSCNCostModel",
     "ProcessPoolBackend",
@@ -91,6 +98,7 @@ __all__ = [
     "ZeroShotWhatIfEstimator",
     "__version__",
     "available_estimators",
+    "available_system_configs",
     "collect_training_corpus",
     "collect_training_corpus_from_specs",
     "execute_plan",
@@ -101,6 +109,7 @@ __all__ = [
     "generate_training_databases",
     "generate_workload",
     "get_estimator",
+    "get_system_config",
     "load_estimator",
     "make_benchmark_workload",
     "make_imdb_database",
@@ -110,4 +119,5 @@ __all__ = [
     "q_error_stats",
     "query_to_sql",
     "register_estimator",
+    "register_system_config",
 ]

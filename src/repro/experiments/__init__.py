@@ -16,6 +16,9 @@
   workload-driven training from scratch.
 * :mod:`~repro.experiments.rewrite_ablation` — what the logical
   rewrite phase buys (intermediate rows, scan widths, plan cost).
+* :mod:`~repro.experiments.hardware` — hardware transfer (§4.3): train
+  across machines, evaluate on an unseen machine, drive the hardware
+  what-if advisor (CLI: ``repro-hardware``).
 * :mod:`~repro.experiments.report` — plain-text rendering of results.
 
 Every driver accepts an :class:`~repro.experiments.setup.ExperimentScale`
@@ -33,6 +36,7 @@ from repro.experiments.cardinality_exp import (
 )
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.fewshot_exp import FewShotResult, run_fewshot
+from repro.experiments.hardware import HardwareResult, run_hardware
 from repro.experiments.learning_curve import (
     LearningCurveResult,
     run_learning_curve,
@@ -59,6 +63,7 @@ __all__ = [
     "ExperimentScale",
     "FewShotResult",
     "Figure3Result",
+    "HardwareResult",
     "LearningCurveResult",
     "RewriteAblationResult",
     "Table1Result",
@@ -66,6 +71,7 @@ __all__ = [
     "run_cardinality",
     "run_fewshot",
     "run_figure3",
+    "run_hardware",
     "run_learning_curve",
     "run_rewrite_ablation",
     "run_table1",

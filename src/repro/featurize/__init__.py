@@ -3,7 +3,8 @@
 * :mod:`~repro.featurize.graph` — the paper's transferable graph
   encoding (Figure 2): heterogeneous nodes for plan operators, tables,
   columns, predicates, aggregates and indexes, annotated with
-  *transferable* features only.
+  *transferable* features only; optionally a ``system`` node carrying
+  the machine's timing coefficients (the hardware-transfer axis).
 * :mod:`~repro.featurize.mscn` — MSCN's set-based one-hot featurization
   (database-specific, non-transferable baseline).
 * :mod:`~repro.featurize.e2e` — E2E's plan-tree featurization with
@@ -28,6 +29,7 @@ from repro.featurize.batch import (
 from repro.featurize.e2e import E2EFeaturizer, E2ETreeSample
 from repro.featurize.graph import (
     NODE_TYPES,
+    SYSTEM_FEATURE_FIELDS,
     CardinalitySource,
     PlanGraph,
     ZeroShotFeaturizer,
@@ -48,6 +50,7 @@ __all__ = [
     "MSCNSample",
     "NODE_TYPES",
     "PlanGraph",
+    "SYSTEM_FEATURE_FIELDS",
     "StandardScaler",
     "ZeroShotFeaturizer",
     "batch_graphs",

@@ -13,11 +13,18 @@ A physical plan is encoded as a heterogeneous DAG:
 * an **aggregate** node per aggregate function (function one-hot),
 * an **index** node per index used by a scan (log height, log leaf
   pages, uniqueness) — the extension the paper proposes for what-if
-  index tuning.
+  index tuning,
+* optionally one **system** node per plan (log timing coefficients of
+  the :class:`~repro.runtime.system.SystemParameters` machine, fanned
+  out to every ``plan_op`` node) — the hardware-transfer extension of
+  §4.3.  Off by default (``ZeroShotFeaturizer(system_features=False)``)
+  and bit-identical to the historical encoding when off.
 
 Every feature is consistent across databases: nothing identifies *which*
-table or column is meant, only its physical characteristics.  That is
-the property that lets one model serve unseen databases.
+table or column is meant, only its physical characteristics.  The same
+holds for the system node: nothing identifies *which* machine, only its
+measurable coefficients.  That is the property that lets one model serve
+unseen databases — and, with system features on, unseen hardware.
 """
 
 from __future__ import annotations
@@ -45,11 +52,12 @@ from repro.plans.operators import (
     Sort,
 )
 from repro.plans.plan import PhysicalPlan
+from repro.runtime.system import SystemParameters
 from repro.sql.ast import AggregateFunction, ColumnRef, ComparisonOperator
 
 __all__ = ["CARDINALITY_FEATURE_INDEX", "CardinalitySource", "PlanGraph",
            "ZeroShotFeaturizer", "NODE_TYPES", "FEATURE_DIMS",
-           "TYPE_CODE_OF"]
+           "SYSTEM_FEATURE_FIELDS", "TYPE_CODE_OF"]
 
 
 class CardinalitySource(enum.Enum):
@@ -74,7 +82,24 @@ _COMPARISON_INDEX = {op: i for i, op in enumerate(ComparisonOperator)}
 _DATATYPE_INDEX = {dt: i for i, dt in enumerate(DataType)}
 _AGGREGATE_INDEX = {fn: i for i, fn in enumerate(AggregateFunction)}
 
-NODE_TYPES = ("plan_op", "table", "column", "predicate", "aggregate", "index")
+#: ``system`` appended last so the historical type codes (and therefore
+#: every encoding with system features off) are byte-for-byte unchanged.
+NODE_TYPES = ("plan_op", "table", "column", "predicate", "aggregate",
+              "index", "system")
+
+#: :class:`~repro.runtime.system.SystemParameters` fields encoded on a
+#: ``system`` node, in feature order.  All are *measurable physical
+#: coefficients* — per-tuple CPU times, page-read latencies, cache and
+#: working-memory capacities — so they transfer across machines the
+#: same way table statistics transfer across databases.
+SYSTEM_FEATURE_FIELDS = (
+    "cpu_tuple_s", "cpu_predicate_s", "cpu_index_tuple_s", "hash_build_s",
+    "hash_probe_s", "sort_compare_s", "aggregate_update_s",
+    "nested_loop_compare_s", "seq_page_read_s", "random_page_read_s",
+    "buffer_pool_pages", "hot_miss_fraction", "work_mem_tuples",
+    "spill_tuple_s", "cpu_cache_tuples", "cache_thrash_factor",
+    "query_overhead_s",
+)
 
 #: Integer code per node type (index into ``NODE_TYPES``) — the batcher
 #: groups nodes with integer sorts instead of string comparisons.
@@ -87,6 +112,7 @@ FEATURE_DIMS = {
     "predicate": len(_COMPARISON_INDEX) + 1,
     "aggregate": len(_AGGREGATE_INDEX) + 1,
     "index": 3,
+    "system": len(SYSTEM_FEATURE_FIELDS),
 }
 
 #: Column of the ``plan_op`` feature vector holding ``log1p(rows)`` —
@@ -177,34 +203,63 @@ class PlanGraph:
 
 
 class ZeroShotFeaturizer:
-    """Builds :class:`PlanGraph` objects from physical plans."""
+    """Builds :class:`PlanGraph` objects from physical plans.
+
+    With ``system_features=True`` every encoded plan additionally gets
+    one ``system`` node carrying the machine's timing coefficients (the
+    per-call ``system`` argument, else the featurizer's default
+    ``system``, else the stock machine), with an edge into every
+    ``plan_op`` node — each operator's combine step sees the hardware
+    it runs on.  With the flag off (the default) the encoding is
+    bit-identical to the historical one, golden-snapshot guarded.
+    """
 
     def __init__(self, cardinality_source: CardinalitySource =
-                 CardinalitySource.ESTIMATED):
+                 CardinalitySource.ESTIMATED,
+                 system_features: bool = False,
+                 system: SystemParameters | None = None):
         self.cardinality_source = cardinality_source
+        self.system_features = system_features
+        self.system = system
+        if system is not None and not system_features:
+            raise FeaturizationError(
+                "a system was given but system_features is off; pass "
+                "system_features=True to encode machine coefficients"
+            )
 
     # ------------------------------------------------------------------
     def featurize(self, plan: PhysicalPlan, database: Database,
                   target_runtime_seconds: float | None = None,
-                  operator_cardinalities: "Sequence[float] | None" = None
-                  ) -> PlanGraph:
+                  operator_cardinalities: "Sequence[float] | None" = None,
+                  system: SystemParameters | None = None) -> PlanGraph:
         """Encode a plan (optionally with runtime / cardinality labels).
 
         ``operator_cardinalities`` are the true output cardinalities of
         every plan operator in pre-order (what
         :class:`~repro.workload.runner.WorkloadRunner` records as
         ``operator_cardinalities``); they become per-``plan_op``-node
-        log1p labels for the cardinality head.
+        log1p labels for the cardinality head.  ``system`` overrides the
+        featurizer's default machine for this plan (training corpora
+        collected across several machines featurize each record under
+        the machine that produced its label).
         """
         if database.name != plan.database_name:
             raise FeaturizationError(
                 f"plan was built for {plan.database_name!r}, "
                 f"featurizer got database {database.name!r}"
             )
+        if system is not None and not self.system_features:
+            raise FeaturizationError(
+                "a system was given but system_features is off; build the "
+                "featurizer with system_features=True"
+            )
         graph = PlanGraph()
         column_cache: dict[str, int] = {}
         graph.root = self._encode_operator(plan.root, plan.query, database,
                                            graph, column_cache)
+        if self.system_features:
+            self._attach_system(system or self.system or SystemParameters(),
+                                graph)
         if target_runtime_seconds is not None:
             if target_runtime_seconds <= 0:
                 raise FeaturizationError(
@@ -260,6 +315,10 @@ class ZeroShotFeaturizer:
                                           column_cache, node_cache)
                     for root in roots]
         graph.root = root_ids[-1]
+        if self.system_features:
+            # One shared machine node: every fragment runs on the same
+            # hardware, exactly as every subtree shares its column nodes.
+            self._attach_system(self.system or SystemParameters(), graph)
         return graph, root_ids
 
     # ------------------------------------------------------------------
@@ -334,6 +393,21 @@ class ZeroShotFeaturizer:
         if node_cache is not None:
             node_cache[id(node)] = op_id
         return op_id
+
+    def _attach_system(self, system: SystemParameters,
+                       graph: PlanGraph) -> int:
+        """One machine node, fanned out to every ``plan_op`` node."""
+        features = np.array([
+            math.log(max(float(getattr(system, name)), 1e-12))
+            for name in SYSTEM_FEATURE_FIELDS
+        ])
+        plan_ops = [node_id
+                    for node_id, node_type in enumerate(graph.node_type_of)
+                    if node_type == "plan_op"]
+        system_id = graph.add_node("system", features)
+        for op_id in plan_ops:
+            graph.add_edge(system_id, op_id)
+        return system_id
 
     def _attach_table(self, table_name: str, database: Database,
                       graph: PlanGraph, parent: int) -> None:

@@ -46,6 +46,7 @@ from repro.models.estimators import ZeroShotEstimator
 from repro.models.trainer import TrainerConfig
 from repro.models.zero_shot import ZeroShotConfig, ZeroShotCostModel
 from repro.plans.plan import PhysicalPlan, walk_plan
+from repro.runtime import SystemParameters
 from repro.sql.ast import Query
 from repro.workload.runner import ExecutedQueryRecord
 
@@ -85,7 +86,8 @@ class ZeroShotCardinalityEstimator(ZeroShotEstimator):
 
     def __init__(self, config: ZeroShotConfig | None = None,
                  source: CardinalitySource = CardinalitySource.ESTIMATED,
-                 model: ZeroShotCostModel | None = None):
+                 model: ZeroShotCostModel | None = None,
+                 system: SystemParameters | None = None):
         if model is None:
             config = config or ZeroShotConfig(cardinality_head=True)
             if not config.cardinality_head:
@@ -97,7 +99,8 @@ class ZeroShotCardinalityEstimator(ZeroShotEstimator):
             raise ModelError(
                 f"{self.name} wraps a model without a cardinality head"
             )
-        super().__init__(config=config, source=source, model=model)
+        super().__init__(config=config, source=source, model=model,
+                         system=system)
 
     # -- training ------------------------------------------------------
     def fit(self, records, databases, trainer: TrainerConfig | None = None
@@ -130,7 +133,7 @@ class ZeroShotCardinalityEstimator(ZeroShotEstimator):
             for r in records
         ]
         return type(self)(model=fine_tune(self.model, graphs, trainer),
-                          source=self.source)
+                          source=self.source, system=self.system)
 
     # -- cardinality surface -------------------------------------------
     def predict_cardinalities_encoded(self, encoded: Sequence[Any]

@@ -54,6 +54,7 @@ from repro.models.trainer import TrainerConfig, TrainingHistory
 from repro.models.zero_shot import ZeroShotConfig, ZeroShotCostModel
 from repro.nn.serialize import load_state, save_state
 from repro.plans.plan import PhysicalPlan
+from repro.runtime import SystemParameters
 
 __all__ = [
     "E2EEstimator",
@@ -74,24 +75,38 @@ def _median_log_runtime(records) -> float:
 # Transferable estimators (fit across the multi-database fleet)
 # ----------------------------------------------------------------------
 class ZeroShotEstimator(CostEstimator):
-    """The paper's zero-shot model behind the unified contract."""
+    """The paper's zero-shot model behind the unified contract.
+
+    ``system`` names the machine the estimator prices plans *for* — it
+    only matters when the wrapped model was trained with
+    :attr:`~repro.models.zero_shot.ZeroShotConfig.system_features`, in
+    which case every featurized plan carries that machine's node (the
+    hardware-transfer axis).  Hardware-blind models ignore it.
+    """
 
     name = "zero-shot"
 
     def __init__(self, config: ZeroShotConfig | None = None,
                  source: CardinalitySource = CardinalitySource.ESTIMATED,
-                 model: ZeroShotCostModel | None = None):
+                 model: ZeroShotCostModel | None = None,
+                 system: SystemParameters | None = None):
         self.source = source
         self.model = model if model is not None else ZeroShotCostModel(config)
-        self.featurizer = ZeroShotFeaturizer(source)
+        self.system = system
+        self.featurizer = ZeroShotFeaturizer(
+            source,
+            system_features=self.model.config.system_features,
+            system=system,
+        )
 
     @classmethod
     def from_model(cls, model: ZeroShotCostModel,
-                   source: CardinalitySource = CardinalitySource.ESTIMATED
+                   source: CardinalitySource = CardinalitySource.ESTIMATED,
+                   system: SystemParameters | None = None
                    ) -> "ZeroShotEstimator":
         """Wrap an already-trained core model (e.g. out of the
         experiment context or the artifact store)."""
-        return cls(model=model, source=source)
+        return cls(model=model, source=source, system=system)
 
     @property
     def is_fitted(self) -> bool:
@@ -149,7 +164,7 @@ class ZeroShotEstimator(CostEstimator):
         graphs = self.featurize([r.plan for r in records], database,
                                 [r.runtime_seconds for r in records])
         return type(self)(model=fine_tune(self.model, graphs, trainer),
-                          source=self.source)
+                          source=self.source, system=self.system)
 
     def encode_plans(self, plans, database) -> list[Any]:
         self._require_fitted()
@@ -163,14 +178,20 @@ class ZeroShotEstimator(CostEstimator):
     def save(self, directory) -> None:
         self._require_fitted()
         self.model.save(directory)
-        self._write_manifest(directory, {"source": self.source.value})
+        self._write_manifest(directory, {
+            "source": self.source.value,
+            "system": None if self.system is None else self.system.to_dict(),
+        })
 
     @classmethod
     def load(cls, directory, database: Database | None = None
              ) -> "ZeroShotEstimator":
         payload = cls._read_manifest(directory)
+        saved_system = payload.get("system")  # absent in older manifests
         return cls(model=ZeroShotCostModel.load(directory),
-                   source=CardinalitySource(payload["source"]))
+                   source=CardinalitySource(payload["source"]),
+                   system=None if saved_system is None
+                   else SystemParameters.from_dict(saved_system))
 
 
 class FlatVectorEstimator(CostEstimator):

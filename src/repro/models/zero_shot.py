@@ -75,6 +75,13 @@ class ZeroShotConfig:
     #: ``switch_margin`` (prediction noise must not perturb estimates
     #: the heuristics already get right).
     cardinality_correction_margin: float = 0.1
+    #: Accept graphs carrying a ``system`` node (machine timing
+    #: coefficients, see
+    #: :data:`repro.featurize.graph.SYSTEM_FEATURE_FIELDS`) — the
+    #: hardware-transfer axis.  Off by default: the plain model (and
+    #: every model saved before this flag existed) consumes the exact
+    #: same rng stream and rejects system nodes loudly.
+    system_features: bool = False
 
     def __post_init__(self):
         if self.hidden_dim <= 0:
@@ -93,7 +100,12 @@ class ZeroShotNet(Module):
         super().__init__()
         self.config = config
         rng = np.random.default_rng(config.seed)
+        # The "system" encoder (if any) is created *after* the readouts,
+        # so every flag combination that existed before the hardware
+        # axis consumes the exact same rng stream as it always did.
         for node_type in NODE_TYPES:
+            if node_type == "system":
+                continue
             self.register_module(
                 f"encode_{node_type}",
                 MLP(FEATURE_DIMS[node_type], list(config.encoder_hidden),
@@ -117,6 +129,23 @@ class ZeroShotNet(Module):
                 config.hidden_dim, list(config.readout_hidden), 1, rng,
                 activation=config.activation, dropout=config.dropout,
             )
+        if config.system_features:
+            # System nodes are always leaves (they have no children), so
+            # only the encoder is ever exercised; the combine module is
+            # registered anyway to keep the per-type symmetry every other
+            # node type has.
+            self.register_module(
+                "encode_system",
+                MLP(FEATURE_DIMS["system"], list(config.encoder_hidden),
+                    config.hidden_dim, rng, activation=config.activation,
+                    dropout=config.dropout),
+            )
+            self.register_module(
+                "combine_system",
+                MLP(2 * config.hidden_dim, list(config.combine_hidden),
+                    config.hidden_dim, rng, activation=config.activation,
+                    dropout=config.dropout),
+            )
 
     def hidden_states(self, batch: GraphBatch) -> Tensor:
         """Final hidden state of every node after bottom-up passing."""
@@ -128,6 +157,12 @@ class ZeroShotNet(Module):
             features = batch.features[node_type]
             if len(features) == 0:
                 continue
+            if f"encode_{node_type}" not in self._modules:
+                raise ModelError(
+                    f"batch contains {node_type!r} nodes but this network "
+                    f"was built without them (ZeroShotConfig("
+                    f"system_features=True) enables the hardware axis)"
+                )
             encoder = self._modules[f"encode_{node_type}"]
             encoded = encoder(Tensor(features))
             hidden = hidden + encoded.scatter_add(
@@ -235,6 +270,19 @@ class ZeroShotCostModel:
             raise ModelError("zero-shot training needs at least one graph")
         if any(g.target_log_runtime is None for g in graphs):
             raise ModelError("all training graphs need runtime labels")
+        with_system = sum(bool(len(g.features["system"])) for g in graphs)
+        if self.config.system_features and with_system < len(graphs):
+            raise ModelError(
+                "system_features=True but some training graphs carry no "
+                "system node; featurize with system features on "
+                "(ZeroShotFeaturizer(system_features=True) / "
+                "corpus.featurize(system_features=True))"
+            )
+        if not self.config.system_features and with_system:
+            raise ModelError(
+                "training graphs carry system nodes but this model was "
+                "built without ZeroShotConfig(system_features=True)"
+            )
         # Validate BEFORE mutating state: a rejected multi-task fit must
         # not leave the model half-fitted (scalers set => is_fitted).
         if self.config.cardinality_head:

@@ -2,13 +2,19 @@
 
 The paper measures real wall-clock runtimes on one Postgres server.  We
 replace the server with an analytic runtime model whose coefficients and
-functional form are *hidden from every featurization*: models only ever
-see plan structure, statistics and cardinalities, so learning the
-mapping to runtimes is a genuine estimation problem.
+functional form are *hidden from every featurization* by default: models
+only ever see plan structure, statistics and cardinalities, so learning
+the mapping to runtimes is a genuine estimation problem.
 
-Crucially there is **one** system (one parameterization) shared by all
-databases — the paper's premise that system behaviour transfers across
-databases while data characteristics vary.
+Historically there was **one** system (one parameterization) shared by
+all databases — the paper's premise that system behaviour transfers
+across databases while data characteristics vary.  The hardware-transfer
+axis generalizes that: the simulated machine is a named, registrable
+configuration (:func:`register_system_config`), fleet specs can place
+every training database on a different machine, and the graph encoding
+can optionally expose the machine's coefficients as transferable
+features so one model predicts runtimes on hardware it never trained on
+(the paper's Section 4.3).
 """
 
 from repro.runtime.simulator import (
@@ -16,7 +22,25 @@ from repro.runtime.simulator import (
     RuntimeSimulator,
     register_cost_model,
 )
-from repro.runtime.system import SystemParameters
+from repro.runtime.system import (
+    SystemParameters,
+    available_system_configs,
+    get_system_config,
+    load_system_config,
+    register_system_config,
+    reset_system_configs,
+    save_system_config,
+)
 
-__all__ = ["QueryRuntime", "RuntimeSimulator", "SystemParameters",
-           "register_cost_model"]
+__all__ = [
+    "QueryRuntime",
+    "RuntimeSimulator",
+    "SystemParameters",
+    "available_system_configs",
+    "get_system_config",
+    "load_system_config",
+    "register_cost_model",
+    "register_system_config",
+    "reset_system_configs",
+    "save_system_config",
+]

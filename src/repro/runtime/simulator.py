@@ -145,7 +145,10 @@ class RuntimeSimulator:
             rows = min(self._actual(node), s.work_mem_tuples)
             return rows * (node.est_width + per_tuple_overhead)
         if isinstance(node, HashAggregate):
-            groups = self._actual(node)
+            # The group table is a stateful allocation like a hash build:
+            # past work_mem it spills (see _node_io_pages) instead of
+            # growing without bound.
+            groups = min(self._actual(node), s.work_mem_tuples)
             return groups * (node.est_width + per_tuple_overhead)
         return 0.0
 
@@ -164,7 +167,10 @@ class RuntimeSimulator:
             else:
                 distinct = 0.0
             return distinct * miss
-        if isinstance(node, (HashBuild, Sort)):
+        if isinstance(node, (HashBuild, Sort, HashAggregate)):
+            # Stateful operators spill once their state exceeds working
+            # memory; for an aggregate the state is the *group* table
+            # (its output rows), for builds/sorts the buffered input.
             rows = self._actual(node)
             if rows > s.work_mem_tuples:
                 from repro.db.types import PAGE_SIZE_BYTES
@@ -302,7 +308,13 @@ class RuntimeSimulator:
         if grouped:
             update += input_rows * s.hash_probe_s  # group lookup
         emit = out_rows * s.cpu_tuple_s
-        return update + emit
+        spill = 0.0
+        if grouped and out_rows > s.work_mem_tuples:
+            # Group table exceeds working memory: spill it, mirroring
+            # the hash-build/sort operators (large group-bys used to
+            # spill for free).
+            spill = out_rows * s.spill_tuple_s
+        return update + emit + spill
 
     def _hash_aggregate_model(self, node: HashAggregate) -> float:
         return self._aggregate(node, grouped=True)

@@ -1,19 +1,42 @@
 """Hidden system parameters of the simulated DBMS server.
 
 These play the role of the physical machine in the paper's testbed.
-They are intentionally *not* exposed to any featurization; the zero-shot
-model must learn their effect from observed (plan, runtime) pairs.
+They are intentionally *not* exposed to any featurization by default;
+the zero-shot model must learn their effect from observed
+(plan, runtime) pairs.  The hardware-transfer experiments flip that:
+:data:`repro.featurize.graph.SYSTEM_FEATURE_FIELDS` exposes the same
+coefficients as *transferable* features so one model can learn across
+machines (the paper's Section 4.3 idea of predicting runtimes on
+unseen hardware).
 
-The default instance is the single server every database "runs on".
-Alternative instances exist to support the paper's Section 4.3 idea of
-predicting runtimes on unseen hardware.
+Machines are named: the module keeps a **system-configuration
+registry** (the same idiom as the kernel/estimator/rewrite-rule
+registries) so fleet specs, experiment drivers and the hardware what-if
+advisor can refer to configurations by name — ``"default"``,
+``"faster-cpu"``, ``"slow-disk"``, … — and user code can register its
+own.  Configurations serialize to plain JSON dicts
+(:meth:`SystemParameters.to_dict` / :meth:`SystemParameters.from_dict`,
+:func:`save_system_config` / :func:`load_system_config`), so a machine
+description can travel with a saved model or experiment manifest.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import os
+from dataclasses import asdict, dataclass, fields
 
-__all__ = ["SystemParameters"]
+from repro.errors import ExecutionError
+
+__all__ = [
+    "SystemParameters",
+    "available_system_configs",
+    "get_system_config",
+    "load_system_config",
+    "register_system_config",
+    "reset_system_configs",
+    "save_system_config",
+]
 
 
 @dataclass(frozen=True)
@@ -60,9 +83,13 @@ class SystemParameters:
         This size-dependent nonlinearity is invisible to the classical
         optimizer cost model (one reason the Scaled-Optimizer-Cost
         baseline underperforms, as in the paper's Figure 3).
+
+        A table with no pages reads nothing, so its miss fraction is
+        exactly zero — not ``hot_miss_fraction``, which would charge an
+        empty table residual disk misses.
         """
         if table_pages <= 0:
-            return self.hot_miss_fraction
+            return 0.0
         cached = min(self.buffer_pool_pages * 0.5, table_pages)
         miss = 1.0 - cached / table_pages
         return float(max(miss, self.hot_miss_fraction))
@@ -73,6 +100,28 @@ class SystemParameters:
             return self.hash_probe_s * self.cache_thrash_factor
         return self.hash_probe_s
 
+    # ------------------------------------------------------------------
+    # Serialization (plain JSON-able dicts, shipped with experiment
+    # manifests and the hardware advisor's recommendations).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, float]:
+        """All coefficients as a plain ``{field: float}`` dict."""
+        return {key: float(value) for key, value in asdict(self).items()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SystemParameters":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ExecutionError(
+                f"unknown system parameter(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**{key: float(value) for key, value in payload.items()})
+
+    # ------------------------------------------------------------------
+    # Canonical alternative machines (also in the registry, below).
+    # ------------------------------------------------------------------
     @classmethod
     def faster_cpu(cls) -> "SystemParameters":
         """An alternative machine with ~2x CPU (for hardware what-if)."""
@@ -87,3 +136,121 @@ class SystemParameters:
         """An alternative machine with spinning-disk latencies."""
         return cls(seq_page_read_s=4e-4, random_page_read_s=5e-3,
                    buffer_pool_pages=1_000.0)
+
+    @classmethod
+    def fast_disk(cls) -> "SystemParameters":
+        """An NVMe-class machine: cheap sequential *and* random reads."""
+        return cls(seq_page_read_s=8e-5, random_page_read_s=1.5e-4)
+
+    @classmethod
+    def big_memory(cls) -> "SystemParameters":
+        """A machine with a large buffer pool and working memory."""
+        return cls(buffer_pool_pages=1_500.0, work_mem_tuples=150_000.0,
+                   cpu_cache_tuples=30_000.0)
+
+    @classmethod
+    def mid_range(cls) -> "SystemParameters":
+        """A machine strictly *between* the default and the named
+        variants on every axis — the canonical unseen-hardware holdout
+        of the ``repro-hardware`` experiment (interpolation, not
+        extrapolation, as zero-shot transfer requires)."""
+        return cls(
+            cpu_tuple_s=1.1e-6, cpu_predicate_s=4.4e-7,
+            cpu_index_tuple_s=8.8e-7, hash_build_s=2.2e-6,
+            hash_probe_s=1.1e-6, sort_compare_s=5.9e-7,
+            aggregate_update_s=6.6e-7, nested_loop_compare_s=1.1e-7,
+            seq_page_read_s=2.9e-4, random_page_read_s=2.2e-3,
+            buffer_pool_pages=420.0, work_mem_tuples=60_000.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# The system-configuration registry (mirrors the kernel / estimator /
+# rewrite-rule registries: eager validation, explicit reset).
+# ----------------------------------------------------------------------
+_DEFAULT_CONFIGS: dict[str, SystemParameters] = {}
+_CONFIGS: dict[str, SystemParameters] = {}
+
+
+def register_system_config(name: str, system: SystemParameters | None,
+                           default: bool = False
+                           ) -> SystemParameters | None:
+    """(Un)register a named machine; returns the previous binding.
+
+    ``system=None`` removes the binding.  ``default=True`` additionally
+    records it in the built-in set restored by
+    :func:`reset_system_configs` (used by the library's own
+    registrations below).
+    """
+    if not name:
+        raise ExecutionError("system config name must be non-empty")
+    previous = _CONFIGS.get(name)
+    if system is None:
+        _CONFIGS.pop(name, None)
+        return previous
+    if not isinstance(system, SystemParameters):
+        raise ExecutionError(
+            f"system config {name!r} must be a SystemParameters instance, "
+            f"got {system!r}"
+        )
+    _CONFIGS[name] = system
+    if default:
+        _DEFAULT_CONFIGS[name] = system
+    return previous
+
+
+def get_system_config(name: str) -> SystemParameters:
+    """Look up a machine by name (fleet specs accept these names)."""
+    system = _CONFIGS.get(name)
+    if system is None:
+        raise ExecutionError(
+            f"unknown system config {name!r}; available: "
+            f"{', '.join(available_system_configs())}"
+        )
+    return system
+
+
+def available_system_configs() -> tuple[str, ...]:
+    """Names of all registered machine configurations, sorted."""
+    return tuple(sorted(_CONFIGS))
+
+
+def reset_system_configs() -> None:
+    """Restore the built-in registry (for tests that register customs)."""
+    _CONFIGS.clear()
+    _CONFIGS.update(_DEFAULT_CONFIGS)
+
+
+def save_system_config(system: SystemParameters,
+                       path: str | os.PathLike) -> None:
+    """Write one machine configuration to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(system.to_dict(), handle, indent=2, sort_keys=True)
+
+
+def load_system_config(path: str | os.PathLike) -> SystemParameters:
+    """Read a machine configuration written by :func:`save_system_config`."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExecutionError(
+            f"{os.fspath(path)!r} is not a saved system config: {error}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ExecutionError(
+            f"{os.fspath(path)!r} does not contain a system config dict"
+        )
+    return SystemParameters.from_dict(payload)
+
+
+for _name, _system in (
+    ("default", SystemParameters()),
+    ("faster-cpu", SystemParameters.faster_cpu()),
+    ("slow-disk", SystemParameters.slow_disk()),
+    ("fast-disk", SystemParameters.fast_disk()),
+    ("big-memory", SystemParameters.big_memory()),
+    ("mid-range", SystemParameters.mid_range()),
+):
+    register_system_config(_name, _system, default=True)
+del _name, _system

@@ -1,0 +1,181 @@
+"""Hardware what-if advisor: "should I buy faster disks?".
+
+The index advisor answers *physical-design* what-ifs; this module
+answers *hardware* what-ifs with the same trained model.  A
+hardware-aware zero-shot model (one trained with
+:attr:`~repro.models.zero_shot.ZeroShotConfig.system_features`) encodes
+the machine as a first-class input, so re-pricing a workload under a
+candidate machine is one featurization away — no re-training, no
+benchmark runs on hardware nobody has bought yet.
+
+:class:`HardwareAdvisor` plans the workload once, then prices the same
+plans under every candidate machine (by default, every configuration in
+the :func:`~repro.runtime.register_system_config` registry) and ranks
+them against the baseline machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import ModelError
+from repro.featurize.graph import CardinalitySource
+from repro.models.estimators import ZeroShotEstimator
+from repro.models.zero_shot import ZeroShotCostModel
+from repro.optimizer.whatif import WhatIfPlanner
+from repro.runtime import (
+    SystemParameters,
+    available_system_configs,
+    get_system_config,
+)
+from repro.sql.ast import Query
+
+__all__ = ["HardwareAdvisor", "HardwareOption", "HardwareRecommendation"]
+
+#: How candidate machines are named: registry names, explicit
+#: :class:`~repro.runtime.SystemParameters`, or a ``{label -> machine}``
+#: map.  ``None`` means every registered configuration.
+HardwareCandidates = Union[
+    Sequence[Union[str, SystemParameters]],
+    Mapping[str, Union[str, SystemParameters]],
+    None,
+]
+
+
+@dataclass
+class HardwareOption:
+    """One candidate machine, priced for the workload."""
+
+    name: str
+    system: SystemParameters
+    predicted_seconds: float
+    baseline_seconds: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        """>1 means the candidate is predicted faster than the baseline."""
+        if self.predicted_seconds <= 0:
+            return 1.0
+        return self.baseline_seconds / self.predicted_seconds
+
+
+@dataclass
+class HardwareRecommendation:
+    """Result of one hardware what-if run, fastest candidate first."""
+
+    baseline_name: str
+    baseline_seconds: float
+    options: list[HardwareOption] = field(default_factory=list)
+
+    @property
+    def best(self) -> HardwareOption:
+        if not self.options:
+            raise ModelError("recommendation has no candidate machines")
+        return self.options[0]
+
+    @property
+    def worth_upgrading(self) -> bool:
+        """Is any candidate predicted faster than the baseline?"""
+        return bool(self.options) and self.best.predicted_speedup > 1.0
+
+
+class HardwareAdvisor:
+    """Rank candidate machines by predicted workload runtime.
+
+    ``model`` must be a fitted hardware-aware zero-shot model (trained
+    with ``system_features=True`` over a multi-machine corpus) — a
+    hardware-blind model would predict the same runtime on every
+    machine, which is exactly the failure mode this advisor exists to
+    replace.
+    """
+
+    def __init__(self, database: Database, model: ZeroShotCostModel,
+                 baseline: "SystemParameters | str" = "default"):
+        if isinstance(model, ZeroShotEstimator):
+            model = model.model
+        if not isinstance(model, ZeroShotCostModel):
+            raise ModelError(
+                f"hardware advisor needs a ZeroShotCostModel, got "
+                f"{type(model).__name__}"
+            )
+        if not model.config.system_features:
+            raise ModelError(
+                "hardware advisor needs a hardware-aware model: train "
+                "with ZeroShotConfig(system_features=True) over a "
+                "multi-machine corpus"
+            )
+        if not model.is_fitted:
+            raise ModelError("hardware advisor needs a fitted cost model")
+        self.database = database
+        self.model = model
+        self.baseline_name, self.baseline_system = self._resolve(
+            "baseline", baseline)
+        self._planner = WhatIfPlanner(database)
+
+    @staticmethod
+    def _resolve(label: str, machine: "SystemParameters | str"
+                 ) -> tuple[str, SystemParameters]:
+        if isinstance(machine, str):
+            return machine, get_system_config(machine)
+        if not isinstance(machine, SystemParameters):
+            raise ModelError(
+                f"candidate {label!r} must be SystemParameters or a "
+                f"registered config name, got {machine!r}"
+            )
+        return label, machine
+
+    def _candidates(self, candidates: HardwareCandidates
+                    ) -> list[tuple[str, SystemParameters]]:
+        if candidates is None:
+            return [(name, get_system_config(name))
+                    for name in available_system_configs()
+                    if name != self.baseline_name]
+        if isinstance(candidates, Mapping):
+            resolved = [(name, self._resolve(name, machine)[1])
+                        for name, machine in candidates.items()]
+        else:
+            resolved = [self._resolve(f"candidate-{index}", machine)
+                        for index, machine in enumerate(candidates)]
+        if not resolved:
+            raise ModelError("hardware advisor got no candidate machines")
+        return resolved
+
+    def _price(self, plans, system: SystemParameters) -> float:
+        estimator = ZeroShotEstimator.from_model(
+            self.model, CardinalitySource.ESTIMATED, system=system)
+        return float(np.sum(estimator.predict_runtime(plans, self.database)))
+
+    def recommend(self, queries: list[Query],
+                  candidates: HardwareCandidates = None
+                  ) -> HardwareRecommendation:
+        """Price the workload on the baseline and every candidate.
+
+        The workload is planned **once** (plans do not depend on the
+        machine — the simulated optimizer costs with fixed constants),
+        then re-priced per machine through the model's system node.
+        Candidates come back sorted fastest-first.
+        """
+        if not queries:
+            raise ModelError("hardware advisor needs a non-empty workload")
+        plans = [self._planner.plan_without_indexes(query)
+                 for query in queries]
+        baseline_seconds = self._price(plans, self.baseline_system)
+        options = [
+            HardwareOption(
+                name=name,
+                system=system,
+                predicted_seconds=self._price(plans, system),
+                baseline_seconds=baseline_seconds,
+            )
+            for name, system in self._candidates(candidates)
+        ]
+        options.sort(key=lambda option: option.predicted_seconds)
+        return HardwareRecommendation(
+            baseline_name=self.baseline_name,
+            baseline_seconds=baseline_seconds,
+            options=options,
+        )

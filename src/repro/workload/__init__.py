@@ -21,9 +21,11 @@ from repro.workload.backends import (
     ProcessPoolBackend,
     SerialBackend,
     ShardExecution,
+    SystemAssignment,
     execute_shard,
     make_corpus_shards,
     resolve_backend,
+    resolve_system_assignment,
 )
 from repro.workload.benchmarks import (
     BENCHMARK_NAMES,
@@ -50,6 +52,7 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "ShardExecution",
+    "SystemAssignment",
     "TrainingCorpus",
     "WorkloadRunner",
     "WorkloadSpec",
@@ -60,4 +63,5 @@ __all__ = [
     "make_benchmark_workload",
     "make_corpus_shards",
     "resolve_backend",
+    "resolve_system_assignment",
 ]

@@ -31,7 +31,7 @@ import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Mapping, Protocol, Sequence, Union, runtime_checkable
 
 import numpy as np
 
@@ -39,7 +39,7 @@ from repro.db.database import Database
 from repro.db.generator import SyntheticDatabaseSpec, generate_database
 from repro.errors import ExperimentError
 from repro.optimizer.planner import PlannerOptions
-from repro.runtime import SystemParameters
+from repro.runtime import SystemParameters, get_system_config
 from repro.sql.ast import Query
 from repro.workload.generator import WorkloadSpec, generate_workload
 from repro.workload.runner import ExecutedQueryRecord, WorkloadRunner
@@ -50,11 +50,25 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "ShardExecution",
+    "SystemAssignment",
     "WORKERS_ENV",
     "execute_shard",
     "make_corpus_shards",
     "resolve_backend",
+    "resolve_system_assignment",
     "shard_seeds",
+]
+
+#: How fleet specs name the machine(s) their shards run on: one
+#: :class:`~repro.runtime.SystemParameters` (or registry name) for the
+#: whole fleet, a sequence assigned round-robin across shards, or an
+#: explicit ``{database name -> machine}`` map.  ``None`` means the
+#: stock machine everywhere (the historical single-server fleet).
+SystemAssignment = Union[
+    SystemParameters, str,
+    Sequence[Union[SystemParameters, str]],
+    Mapping[str, Union[SystemParameters, str]],
+    None,
 ]
 
 WORKERS_ENV = "REPRO_WORKERS"
@@ -123,12 +137,59 @@ class ShardExecution:
     records: list[ExecutedQueryRecord]
 
 
+def _as_system(value: "SystemParameters | str") -> SystemParameters:
+    if isinstance(value, str):
+        return get_system_config(value)
+    if not isinstance(value, SystemParameters):
+        raise ExperimentError(
+            f"system assignment entries must be SystemParameters or a "
+            f"registered config name, got {value!r}"
+        )
+    return value
+
+
+def resolve_system_assignment(specs: Sequence[SyntheticDatabaseSpec],
+                              system: SystemAssignment
+                              ) -> list[SystemParameters]:
+    """One machine per database spec, resolved eagerly.
+
+    ``system`` may be a single :class:`~repro.runtime.SystemParameters`
+    (or registered config name) applied fleet-wide, a sequence of
+    machines assigned **round-robin** across the specs, or an explicit
+    ``{database name -> machine}`` map (unknown names are rejected;
+    unmapped databases get the stock machine).  Names resolve through
+    :func:`repro.runtime.get_system_config`.
+    """
+    if system is None:
+        return [SystemParameters() for _ in specs]
+    if isinstance(system, (SystemParameters, str)):
+        resolved = _as_system(system)
+        return [resolved for _ in specs]
+    if isinstance(system, Mapping):
+        known = {spec.name for spec in specs}
+        unknown = set(system) - known
+        if unknown:
+            raise ExperimentError(
+                f"system map names unknown database(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        return [_as_system(system[spec.name]) if spec.name in system
+                else SystemParameters() for spec in specs]
+    machines = [_as_system(entry) for entry in system]
+    if not machines:
+        raise ExperimentError(
+            "system assignment sequence must not be empty"
+        )
+    return [machines[index % len(machines)]
+            for index in range(len(specs))]
+
+
 def make_corpus_shards(specs: Sequence[SyntheticDatabaseSpec],
                        queries_per_database: int,
                        seed: int = 0,
                        random_indexes_per_database: int = 0,
                        workload_spec: WorkloadSpec | None = None,
-                       system: SystemParameters | None = None,
+                       system: SystemAssignment = None,
                        noise_sigma: float = 0.06,
                        planner_options: PlannerOptions | None = None
                        ) -> list[CorpusShard]:
@@ -136,11 +197,15 @@ def make_corpus_shards(specs: Sequence[SyntheticDatabaseSpec],
 
     ``workload_spec`` acts as a template for the non-seed knobs (join
     width, predicate counts, ...); each shard gets its own query count
-    and workload seed.
+    and workload seed.  ``system`` assigns machines to shards (see
+    :func:`resolve_system_assignment`) — the hardware axis of the
+    training fleet.  A shard's system is part of its recipe, so two
+    shards differing only in machine cache (and execute) independently.
     """
     template = workload_spec or WorkloadSpec(num_queries=queries_per_database)
+    machines = resolve_system_assignment(specs, system)
     shards = []
-    for shard_index, spec in enumerate(specs):
+    for shard_index, (spec, machine) in enumerate(zip(specs, machines)):
         index_seed, workload_seed, runner_seed = shard_seeds(seed, shard_index)
         shards.append(CorpusShard(
             database_spec=spec,
@@ -151,7 +216,7 @@ def make_corpus_shards(specs: Sequence[SyntheticDatabaseSpec],
             runner_seed=runner_seed,
             random_indexes=random_indexes_per_database,
             noise_sigma=noise_sigma,
-            system=system or SystemParameters(),
+            system=machine,
             planner_options=planner_options or PlannerOptions(),
         ))
     return shards

@@ -36,6 +36,7 @@ from repro.workload.backends import (
     ExecutionBackend,
     SerialBackend,
     ShardExecution,
+    SystemAssignment,
     make_corpus_shards,
 )
 from repro.workload.generator import WorkloadSpec, generate_workload
@@ -67,6 +68,19 @@ class TrainingCorpus:
     records_by_database: dict[str, list[ExecutedQueryRecord]] = \
         field(default_factory=dict)
     databases: dict[str, Database] = field(default_factory=dict)
+    #: The machine each database's workload was executed on — the
+    #: hardware axis of the fleet.  Databases absent from the map ran on
+    #: the stock machine (every corpus collected before the axis existed).
+    systems: dict[str, SystemParameters] = field(default_factory=dict)
+
+    def system_for(self, name: str) -> SystemParameters:
+        """The machine ``name``'s records were executed on.
+
+        ``getattr`` fallback: corpora unpickled from before the hardware
+        axis lack the ``systems`` attribute entirely, and all of them
+        ran on the stock machine.
+        """
+        return getattr(self, "systems", {}).get(name) or SystemParameters()
 
     @property
     def num_queries(self) -> int:
@@ -83,7 +97,8 @@ class TrainingCorpus:
     def featurize(self, source: CardinalitySource,
                   database_names: list[str] | None = None,
                   target: str = "runtime",
-                  with_cardinalities: bool = False) -> list[PlanGraph]:
+                  with_cardinalities: bool = False,
+                  system_features: bool = False) -> list[PlanGraph]:
         """Labelled plan graphs for training a zero-shot model.
 
         ``database_names`` restricts the corpus (used by the
@@ -96,18 +111,25 @@ class TrainingCorpus:
         per-operator :attr:`~repro.workload.runner.ExecutedQueryRecord.\
 operator_cardinalities` as per-node labels, the supervision of the
         multi-task cardinality head.
+
+        ``system_features=True`` attaches each database's machine (see
+        :meth:`system_for`) as a ``system`` node, so a multi-machine
+        corpus trains a hardware-aware model.  Off (the default), the
+        encoding is bit-identical to the hardware-blind one.
         """
         if target not in ("runtime", "memory", "io"):
             raise WorkloadError(
                 f"unknown target {target!r}; choose runtime, memory or io"
             )
-        featurizer = ZeroShotFeaturizer(source)
+        featurizer = ZeroShotFeaturizer(source,
+                                        system_features=system_features)
         graphs = []
         names = database_names or list(self.records_by_database)
         for name in names:
             if name not in self.records_by_database:
                 raise WorkloadError(f"no records for database {name!r}")
             database = self.databases[name]
+            system = self.system_for(name) if system_features else None
             for record in self.records_by_database[name]:
                 if target == "runtime":
                     label = record.runtime_seconds
@@ -127,6 +149,7 @@ operator_cardinalities` as per-node labels, the supervision of the
                 graphs.append(featurizer.featurize(
                     record.plan, database, label,
                     operator_cardinalities=cardinalities,
+                    system=system,
                 ))
         return graphs
 
@@ -160,6 +183,7 @@ operator_cardinalities` as per-node labels, the supervision of the
                     "name": name,
                     "database": self.databases[name],
                     "records": self.records_by_database[name],
+                    "system": self.systems.get(name),
                 }, handle, protocol=pickle.HIGHEST_PROTOCOL)
             manifest["shards"].append({"name": name, "file": file_name})
         with open(root / _MANIFEST_NAME, "w") as handle:
@@ -182,15 +206,18 @@ operator_cardinalities` as per-node labels, the supervision of the
         return manifest
 
     @classmethod
-    def _load_shard_file(cls, path: Path, name: str
-                         ) -> tuple[Database, list[ExecutedQueryRecord]]:
+    def _load_shard_file(
+            cls, path: Path, name: str
+    ) -> tuple[Database, list[ExecutedQueryRecord], SystemParameters | None]:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
         if not isinstance(payload, dict) or payload.get("name") != name:
             raise WorkloadError(
                 f"corpus shard {path!s} does not contain database {name!r}"
             )
-        return payload["database"], payload["records"]
+        # ``.get``: shard files from before the hardware axis have no
+        # "system" key — they all ran on the stock machine.
+        return payload["database"], payload["records"], payload.get("system")
 
     @classmethod
     def load_shard(cls, path: str | os.PathLike, name: str
@@ -200,8 +227,9 @@ operator_cardinalities` as per-node labels, the supervision of the
         manifest = cls._read_manifest(root)
         for entry in manifest["shards"]:
             if entry["name"] == name:
-                return cls._load_shard_file(
+                database, records, _ = cls._load_shard_file(
                     root / _SHARDS_DIR / entry["file"], name)
+                return database, records
         raise WorkloadError(f"corpus at {root!s} has no database {name!r}")
 
     @classmethod
@@ -224,10 +252,12 @@ operator_cardinalities` as per-node labels, the supervision of the
         manifest = cls._read_manifest(root)
         corpus = cls()
         for entry in manifest["shards"]:
-            database, records = cls._load_shard_file(
+            database, records, system = cls._load_shard_file(
                 root / _SHARDS_DIR / entry["file"], entry["name"])
             corpus.records_by_database[entry["name"]] = records
             corpus.databases[entry["name"]] = database
+            if system is not None:
+                corpus.systems[entry["name"]] = system
         return corpus
 
 
@@ -296,14 +326,16 @@ def collect_training_corpus(databases: list[Database],
                 seed=int(rng.integers(0, 2**31 - 1)),
             )
         queries = generate_workload(database, spec)
+        machine = system or SystemParameters()
         runner = WorkloadRunner(
             database,
-            system=system or SystemParameters(),
+            system=machine,
             noise_sigma=noise_sigma,
             seed=int(rng.integers(0, 2**31 - 1)),
         )
         corpus.records_by_database[database.name] = runner.run(queries)
         corpus.databases[database.name] = database
+        corpus.systems[database.name] = machine
     return corpus
 
 
@@ -313,7 +345,7 @@ def collect_training_corpus_from_specs(
         seed: int = 0,
         random_indexes_per_database: int = 0,
         workload_spec: WorkloadSpec | None = None,
-        system: SystemParameters | None = None,
+        system: SystemAssignment = None,
         noise_sigma: float = 0.06,
         backend: ExecutionBackend | None = None,
         store: "ArtifactStore | None" = None) -> TrainingCorpus:
@@ -325,6 +357,12 @@ def collect_training_corpus_from_specs(
     already on disk are loaded instead of executed, and freshly
     executed shards are persisted — growing a fleet from 8 to 12
     databases executes exactly 4 shards.
+
+    ``system`` assigns machines across the fleet (single machine,
+    round-robin sequence, or per-database map — see
+    :func:`~repro.workload.backends.resolve_system_assignment`).  A
+    shard's machine is part of its recipe, so the same fleet collected
+    on different hardware caches independently.
     """
     if not specs:
         raise WorkloadError("need at least one training database spec")
@@ -360,4 +398,5 @@ def collect_training_corpus_from_specs(
         execution = executions[index]
         corpus.records_by_database[execution.database.name] = execution.records
         corpus.databases[execution.database.name] = execution.database
+        corpus.systems[execution.database.name] = execution.shard.system
     return corpus

@@ -247,6 +247,54 @@ class TestCardinality:
         assert "Plan quality" in text
 
 
+class TestHardware:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.hardware import run_hardware
+        return run_hardware(ExperimentScale.quick())
+
+    @pytest.mark.hardware
+    def test_multi_config_transfers_better(self, result):
+        """The acceptance gate: training across machines (with the
+        machine in the featurization) beats the hardware-blind
+        single-machine baseline on an unseen machine."""
+        assert result.multi_stats.median >= 1.0
+        assert result.single_stats.median >= 1.0
+        assert result.median_improvement > 1.0
+        assert result.multi_stats.median < result.single_stats.median
+
+    @pytest.mark.hardware
+    def test_fleet_spread_across_machines(self, result):
+        assert set(result.fleet.values()) <= set(result.train_configs)
+        assert len(set(result.fleet.values())) > 1  # genuinely round-robin
+
+    @pytest.mark.hardware
+    def test_holdout_not_trained_on(self, result):
+        from repro.experiments.hardware import run_hardware
+        assert result.holdout_config not in result.train_configs
+        with pytest.raises(ExperimentError):
+            run_hardware(ExperimentScale.quick(),
+                         train_configs=("default", "mid-range"))
+
+    @pytest.mark.hardware
+    def test_advisor_ran_on_holdout(self, result):
+        advisor = result.advisor
+        assert advisor is not None
+        assert advisor.baseline_name == result.holdout_config
+        assert advisor.baseline_seconds > 0
+        assert all(option.predicted_seconds > 0
+                   for option in advisor.options)
+
+    @pytest.mark.hardware
+    def test_report_renders(self, result):
+        from repro.experiments.hardware import format_hardware
+        text = format_hardware(result)
+        assert "Hardware transfer" in text
+        assert "multi-config (hardware-aware)" in text
+        assert "single-config (blind)" in text
+        assert "what-if" in text
+
+
 class TestAblations:
     def test_ablation_variants(self, quick_context):
         result = run_ablations(context=quick_context)

@@ -1,0 +1,218 @@
+"""The hardware axis: system-config registry, resource-model
+regressions, and cost monotonicity across machines."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.engine import execute_plan
+from repro.errors import ExecutionError
+from repro.optimizer import plan_query
+from repro.plans.operators import HashAggregate
+from repro.runtime import (
+    RuntimeSimulator,
+    SystemParameters,
+    available_system_configs,
+    get_system_config,
+    load_system_config,
+    register_system_config,
+    reset_system_configs,
+    save_system_config,
+)
+from repro.sql import parse_query
+
+pytestmark = pytest.mark.hardware
+
+
+def simulate(db, text, system=None):
+    plan = plan_query(db, parse_query(text))
+    execute_plan(db, plan)
+    simulator = RuntimeSimulator(db, system=system or SystemParameters(),
+                                 noise_sigma=0.0)
+    return simulator.simulate(plan), plan
+
+
+# ----------------------------------------------------------------------
+# miss_fraction regression: empty tables read nothing.
+# ----------------------------------------------------------------------
+class TestMissFraction:
+    def test_empty_table_misses_nothing(self):
+        system = SystemParameters()
+        assert system.miss_fraction(0.0) == 0.0
+        assert system.miss_fraction(-1.0) == 0.0
+
+    def test_small_table_pays_only_hot_misses(self):
+        system = SystemParameters()
+        pages = system.buffer_pool_pages * 0.5
+        assert system.miss_fraction(pages) == system.hot_miss_fraction
+
+    def test_large_table_mostly_misses(self):
+        system = SystemParameters()
+        assert system.miss_fraction(10_000.0) > 0.9
+
+
+# ----------------------------------------------------------------------
+# The system-configuration registry.
+# ----------------------------------------------------------------------
+class TestSystemConfigRegistry:
+    def teardown_method(self):
+        reset_system_configs()
+
+    def test_builtins_registered(self):
+        names = available_system_configs()
+        for name in ("default", "faster-cpu", "slow-disk", "fast-disk",
+                     "big-memory", "mid-range"):
+            assert name in names
+        assert get_system_config("default") == SystemParameters()
+        assert get_system_config("mid-range") == SystemParameters.mid_range()
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ExecutionError, match="available:.*default"):
+            get_system_config("quantum-annealer")
+
+    def test_register_get_unregister(self):
+        custom = replace(SystemParameters(), cpu_tuple_s=2e-6)
+        assert register_system_config("custom", custom) is None
+        assert get_system_config("custom") == custom
+        # Re-registration returns the previous binding.
+        assert register_system_config("custom", SystemParameters()) == custom
+        # None unregisters.
+        register_system_config("custom", None)
+        with pytest.raises(ExecutionError):
+            get_system_config("custom")
+
+    def test_reset_restores_builtins_and_drops_customs(self):
+        register_system_config("custom", SystemParameters())
+        register_system_config("default", None)
+        reset_system_configs()
+        assert "custom" not in available_system_configs()
+        assert get_system_config("default") == SystemParameters()
+
+    def test_bad_registrations_rejected(self):
+        with pytest.raises(ExecutionError):
+            register_system_config("", SystemParameters())
+        with pytest.raises(ExecutionError):
+            register_system_config("bad", {"cpu_tuple_s": 1.0})
+
+
+class TestSystemConfigSerialization:
+    def test_dict_round_trip(self):
+        machine = SystemParameters.slow_disk()
+        assert SystemParameters.from_dict(machine.to_dict()) == machine
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ExecutionError, match="gpu_flops"):
+            SystemParameters.from_dict({"gpu_flops": 1e12})
+
+    def test_file_round_trip(self, tmp_path):
+        machine = SystemParameters.mid_range()
+        path = tmp_path / "machine.json"
+        save_system_config(machine, path)
+        assert load_system_config(path) == machine
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json")
+        with pytest.raises(ExecutionError):
+            load_system_config(path)
+        with pytest.raises(ExecutionError):
+            load_system_config(tmp_path / "missing.json")
+
+
+# ----------------------------------------------------------------------
+# Simulator resource-model regressions (the HashAggregate fixes).
+# ----------------------------------------------------------------------
+GROUPED = "SELECT ci.person_id, COUNT(*) FROM cast_info ci GROUP BY ci.person_id"
+
+
+def _hash_aggregate(plan):
+    nodes = [n for n in plan.nodes() if isinstance(n, HashAggregate)]
+    assert nodes, "plan has no HashAggregate"
+    return nodes[0]
+
+
+class TestAggregateResourceModel:
+    def test_group_table_memory_clamped_at_work_mem(self, tiny_imdb):
+        small = replace(SystemParameters(), work_mem_tuples=50.0)
+        plan = plan_query(tiny_imdb, parse_query(GROUPED))
+        execute_plan(tiny_imdb, plan)
+        node = _hash_aggregate(plan)
+        simulator = RuntimeSimulator(tiny_imdb, system=small, noise_sigma=0.0)
+        groups = simulator._actual(node)
+        assert groups > small.work_mem_tuples  # the regression's premise
+        # Clamped exactly at work_mem, like hash builds and sorts —
+        # not growing linearly with the number of groups.
+        assert simulator._node_memory_bytes(node) == \
+            small.work_mem_tuples * (node.est_width + 48.0)
+
+    def test_spilling_aggregate_reads_pages_and_costs_time(self, tiny_imdb):
+        small = replace(SystemParameters(), work_mem_tuples=50.0)
+        roomy = replace(SystemParameters(), work_mem_tuples=1e9)
+        spilled, _ = simulate(tiny_imdb, GROUPED, system=small)
+        in_memory, _ = simulate(tiny_imdb, GROUPED, system=roomy)
+        # The group table exceeds work_mem: spill traffic shows up in
+        # both the IO account and the runtime.
+        assert spilled.io_pages > in_memory.io_pages
+        assert spilled.total_seconds > in_memory.total_seconds
+        assert spilled.memory_peak_bytes < in_memory.memory_peak_bytes
+
+
+# ----------------------------------------------------------------------
+# Monotonicity across machines.
+# ----------------------------------------------------------------------
+WORKLOAD = (
+    "SELECT COUNT(*) FROM title t",
+    "SELECT COUNT(*) FROM cast_info ci WHERE ci.role_id = 1",
+    ("SELECT COUNT(*) FROM title t, cast_info ci "
+     "WHERE t.id = ci.movie_id"),
+    ("SELECT COUNT(*) FROM title t, movie_info_idx mi "
+     "WHERE t.id = mi.movie_id AND t.production_year > 2000"),
+    "SELECT t.kind_id, COUNT(*) FROM title t GROUP BY t.kind_id",
+)
+
+
+class TestCrossMachineMonotonicity:
+    def test_faster_cpu_is_never_slower(self, tiny_imdb):
+        """faster_cpu only lowers CPU coefficients, so no plan may get
+        slower — and CPU-bound plans must get strictly faster."""
+        improvements = []
+        for text in WORKLOAD:
+            base, _ = simulate(tiny_imdb, text)
+            fast, _ = simulate(tiny_imdb, text,
+                               system=SystemParameters.faster_cpu())
+            assert fast.total_seconds <= base.total_seconds, text
+            improvements.append(base.total_seconds - fast.total_seconds)
+        assert max(improvements) > 0.0
+
+    def test_slow_disk_never_speeds_up_hot_io(self, tiny_imdb):
+        """slow_disk raises both page-read costs *and* the buffer pool;
+        for tables hot in both pools the bigger pool cannot help, so no
+        plan may get faster — only the per-miss cost changes."""
+        for table in ("title", "cast_info", "movie_info_idx"):
+            pages = tiny_imdb.table_data(table).num_pages
+            # Precondition: hot in the default pool too, so slow_disk's
+            # larger pool buys nothing (a mid-size table could otherwise
+            # legitimately *gain* from the 1000-page pool).
+            assert pages <= SystemParameters().buffer_pool_pages * 0.5, (
+                f"{table} has {pages} pages; pick smaller fixtures"
+            )
+        slowdowns = []
+        for text in WORKLOAD:
+            base, _ = simulate(tiny_imdb, text)
+            slow, _ = simulate(tiny_imdb, text,
+                               system=SystemParameters.slow_disk())
+            assert slow.total_seconds >= base.total_seconds, text
+            slowdowns.append(slow.total_seconds - base.total_seconds)
+        assert max(slowdowns) > 0.0
+
+    def test_mid_range_interpolates(self):
+        """The holdout machine must sit inside the training machines'
+        coefficient ranges on every axis (transfer = interpolation)."""
+        fleet = [get_system_config(name)
+                 for name in ("default", "faster-cpu", "slow-disk",
+                              "fast-disk", "big-memory")]
+        holdout = get_system_config("mid-range").to_dict()
+        for name, value in holdout.items():
+            values = [machine.to_dict()[name] for machine in fleet]
+            assert min(values) <= value <= max(values), name

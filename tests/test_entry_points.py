@@ -26,6 +26,7 @@ EXPECTED_SCRIPTS = {
     "repro-fewshot": "repro.experiments.fewshot_exp",
     "repro-ablations": "repro.experiments.ablations",
     "repro-resources": "repro.experiments.resources",
+    "repro-hardware": "repro.experiments.hardware",
     "repro-profile": "repro.experiments.profile",
 }
 

@@ -12,9 +12,9 @@ SUBPACKAGES = ["repro.db", "repro.sql", "repro.plans", "repro.engine",
                "repro.runtime", "repro.nn",
                "repro.featurize", "repro.models", "repro.models.api",
                "repro.models.cardinality",
-               "repro.workload", "repro.tuning", "repro.serve",
-               "repro.serve.server",
-               "repro.experiments"]
+               "repro.workload", "repro.tuning", "repro.tuning.hardware",
+               "repro.serve", "repro.serve.server",
+               "repro.experiments", "repro.experiments.hardware"]
 
 
 class TestApiSurface:
